@@ -1,0 +1,92 @@
+// Command uhtmsim regenerates the paper's tables and figures on the
+// simulated machine. Each experiment prints the same rows/series the
+// paper reports; see EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	uhtmsim [-scale f] [-seed n] <experiment>
+//
+// where experiment is one of: table3, fig2, fig6, fig7, fig8, fig9a,
+// fig9b, fig10, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"uhtm/internal/stats"
+	"uhtm/internal/workload"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(scale float64) (*stats.Table, []workload.Result)
+}{
+	{"fig2", "LLC-Bounded vs Ideal unbounded HTM (motivation, Fig. 2)", workload.Fig2},
+	{"fig6", "PMDK + Echo throughput, normalized to LLC-Bounded (Fig. 6)", workload.Fig6},
+	{"fig7", "Abort-rate decomposition vs footprint and signature size (Fig. 7)", workload.Fig7},
+	{"fig8", "Echo with long-running read-only transactions (Fig. 8)", workload.Fig8},
+	{"fig9a", "Hybrid-Index KV store vs footprint (Fig. 9a)", workload.Fig9a},
+	{"fig9b", "Dual KV store vs footprint (Fig. 9b)", workload.Fig9b},
+	{"fig10", "Volatile transactions: undo vs redo DRAM logging (Fig. 10)", workload.Fig10},
+	{"ablate", "Design-choice ablations (resolution policy, DRAM cache, isolation, DRAM log)", workload.Ablations},
+}
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "op-count scale factor (1.0 = full-size runs)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+
+	if name == "table3" {
+		fmt.Println("Table III — simulation configuration")
+		fmt.Print(workload.TableIII().Format())
+		return
+	}
+	if name == "all" {
+		fmt.Println("Table III — simulation configuration")
+		fmt.Print(workload.TableIII().Format())
+		fmt.Println()
+		for _, e := range experiments {
+			runOne(e.name, e.desc, e.run, *scale)
+		}
+		return
+	}
+	for _, e := range experiments {
+		if e.name == name {
+			runOne(e.name, e.desc, e.run, *scale)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "uhtmsim: unknown experiment %q\n", name)
+	usage()
+	os.Exit(2)
+}
+
+func runOne(name, desc string, fn func(float64) (*stats.Table, []workload.Result), scale float64) {
+	fmt.Printf("== %s — %s (scale=%.2f)\n", name, desc, scale)
+	start := time.Now()
+	tbl, _ := fn(scale)
+	fmt.Print(tbl.Format())
+	fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: uhtmsim [-scale f] <experiment>
+
+experiments:
+  table3   simulation configuration (Table III)
+`)
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintf(os.Stderr, "  all      everything above\n")
+	flag.PrintDefaults()
+}

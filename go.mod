@@ -1,0 +1,3 @@
+module uhtm
+
+go 1.22

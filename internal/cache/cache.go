@@ -1,0 +1,201 @@
+// Package cache models set-associative write-back caches (the per-core
+// L1s and the shared LLC of Table III, and the geometry of the DRAM
+// cache). Caches here track *presence*: which lines are on chip, which
+// are dirty, and LRU order. Data itself lives in the mem.Store live
+// image (the machine uses eager, in-place version management — Section
+// IV-B), and transactional read/write ownership lives in the coherence
+// directory; the HTM layer consults the directory when this package
+// reports an eviction.
+package cache
+
+import (
+	"fmt"
+
+	"uhtm/internal/mem"
+)
+
+// Eviction describes a victim line leaving the cache.
+type Eviction struct {
+	Addr  mem.Addr // line address
+	Dirty bool
+}
+
+// EvictFunc is called for each line displaced by an Insert.
+type EvictFunc func(Eviction)
+
+type line struct {
+	addr  mem.Addr
+	valid bool
+	dirty bool
+	used  uint64 // LRU stamp
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	name    string
+	sets    [][]line
+	numSets int
+	ways    int
+	tick    uint64
+	onEvict EvictFunc
+
+	// Hits and Misses count Lookup results, for statistics.
+	Hits, Misses uint64
+}
+
+// New builds a cache of the given total size in bytes and associativity.
+// size must be a multiple of ways*LineSize and the resulting set count a
+// power of two. onEvict may be nil.
+func New(name string, size, ways int, onEvict EvictFunc) *Cache {
+	if size <= 0 || ways <= 0 || size%(ways*mem.LineSize) != 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry size=%d ways=%d", name, size, ways))
+	}
+	numSets := size / (ways * mem.LineSize)
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, numSets))
+	}
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*ways)
+	for i := range sets {
+		sets[i] = backing[i*ways : (i+1)*ways]
+	}
+	return &Cache{name: name, sets: sets, numSets: numSets, ways: ways, onEvict: onEvict}
+}
+
+// Name returns the cache's label.
+func (c *Cache) Name() string { return c.name }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.numSets }
+
+func (c *Cache) set(a mem.Addr) []line {
+	idx := int((a / mem.LineSize)) & (c.numSets - 1)
+	return c.sets[idx]
+}
+
+func (c *Cache) find(a mem.Addr) *line {
+	la := mem.LineOf(a)
+	s := c.set(la)
+	for i := range s {
+		if s[i].valid && s[i].addr == la {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// Lookup reports whether the line containing a is present, refreshing
+// its LRU position on a hit and updating hit/miss counters.
+func (c *Cache) Lookup(a mem.Addr) bool {
+	if l := c.find(a); l != nil {
+		c.tick++
+		l.used = c.tick
+		c.Hits++
+		return true
+	}
+	c.Misses++
+	return false
+}
+
+// Contains reports presence without touching LRU state or counters.
+func (c *Cache) Contains(a mem.Addr) bool { return c.find(a) != nil }
+
+// Dirty reports whether the line containing a is present and dirty.
+func (c *Cache) Dirty(a mem.Addr) bool {
+	l := c.find(a)
+	return l != nil && l.dirty
+}
+
+// Insert brings the line containing a into the cache (most recently
+// used), evicting the LRU way of its set if full. Inserting a present
+// line just refreshes LRU. The victim, if any, is reported to onEvict.
+func (c *Cache) Insert(a mem.Addr) {
+	la := mem.LineOf(a)
+	if l := c.find(la); l != nil {
+		c.tick++
+		l.used = c.tick
+		return
+	}
+	s := c.set(la)
+	victim := &s[0]
+	for i := range s {
+		if !s[i].valid {
+			victim = &s[i]
+			break
+		}
+		if s[i].used < victim.used {
+			victim = &s[i]
+		}
+	}
+	if victim.valid && c.onEvict != nil {
+		c.onEvict(Eviction{Addr: victim.addr, Dirty: victim.dirty})
+	}
+	c.tick++
+	*victim = line{addr: la, valid: true, used: c.tick}
+}
+
+// MarkDirty sets the dirty bit of a present line; it reports whether the
+// line was present.
+func (c *Cache) MarkDirty(a mem.Addr) bool {
+	if l := c.find(a); l != nil {
+		l.dirty = true
+		return true
+	}
+	return false
+}
+
+// CleanLine clears the dirty bit (after a write-back) of a present line.
+func (c *Cache) CleanLine(a mem.Addr) {
+	if l := c.find(a); l != nil {
+		l.dirty = false
+	}
+}
+
+// Invalidate drops the line containing a without invoking onEvict (the
+// caller decides what to do with its contents). It reports whether the
+// line was present and whether it was dirty.
+func (c *Cache) Invalidate(a mem.Addr) (present, dirty bool) {
+	if l := c.find(a); l != nil {
+		present, dirty = true, l.dirty
+		*l = line{}
+	}
+	return
+}
+
+// ForEach visits every valid line (set order, way order). The callback
+// must not mutate the cache.
+func (c *Cache) ForEach(fn func(addr mem.Addr, dirty bool)) {
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].valid {
+				fn(s[i].addr, s[i].dirty)
+			}
+		}
+	}
+}
+
+// Len returns the number of valid lines.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Reset empties the cache and clears counters.
+func (c *Cache) Reset() {
+	for _, s := range c.sets {
+		for i := range s {
+			s[i] = line{}
+		}
+	}
+	c.tick, c.Hits, c.Misses = 0, 0, 0
+}

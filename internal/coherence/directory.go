@@ -1,0 +1,226 @@
+// Package coherence models the directory extension of Section IV-D: each
+// directory entry gains a Tx-bit, a Tx-Owner (the transaction that wrote
+// the line) and Tx-Sharers (transactions that read it). Fields hold
+// *transaction IDs*, not core IDs, so conflict detection survives
+// context switches. The directory is authoritative for on-chip
+// transactional data only — when a line leaves the LLC its entry is
+// surrendered to the address signatures (the staged detection scheme).
+package coherence
+
+import (
+	"fmt"
+	"sort"
+
+	"uhtm/internal/mem"
+)
+
+// ConflictKind classifies a detected on-chip conflict, following the
+// paper's taxonomy for incoming GetS/GetM requests.
+type ConflictKind int
+
+const (
+	// WriteAfterWrite: an exclusive request hit a line with a Tx-Owner.
+	WriteAfterWrite ConflictKind = iota
+	// WriteAfterRead: an exclusive request hit a line with Tx-Sharers.
+	WriteAfterRead
+	// ReadAfterWrite: a shared request hit a line with a Tx-Owner.
+	ReadAfterWrite
+)
+
+func (k ConflictKind) String() string {
+	switch k {
+	case WriteAfterWrite:
+		return "WAW"
+	case WriteAfterRead:
+		return "WAR"
+	default:
+		return "RAW"
+	}
+}
+
+// Conflict names one transaction an incoming request collides with.
+type Conflict struct {
+	With uint64 // transaction ID
+	Kind ConflictKind
+}
+
+type entry struct {
+	txOwner   uint64 // 0 = none
+	txSharers map[uint64]struct{}
+}
+
+func (e *entry) empty() bool { return e.txOwner == 0 && len(e.txSharers) == 0 }
+
+// Directory tracks transactional ownership of on-chip lines.
+type Directory struct {
+	entries map[mem.Addr]*entry
+	// byTx is the reverse index used to clear a transaction's footprint
+	// in O(its size) at commit/abort.
+	byTx map[uint64]map[mem.Addr]struct{}
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		entries: make(map[mem.Addr]*entry),
+		byTx:    make(map[uint64]map[mem.Addr]struct{}),
+	}
+}
+
+func (d *Directory) entryFor(a mem.Addr) *entry {
+	la := mem.LineOf(a)
+	e := d.entries[la]
+	if e == nil {
+		e = &entry{txSharers: make(map[uint64]struct{})}
+		d.entries[la] = e
+	}
+	return e
+}
+
+func (d *Directory) index(tx uint64, a mem.Addr) {
+	s := d.byTx[tx]
+	if s == nil {
+		s = make(map[mem.Addr]struct{})
+		d.byTx[tx] = s
+	}
+	s[mem.LineOf(a)] = struct{}{}
+}
+
+// CheckWrite returns the transactions an exclusive (GetM-style) request
+// for a by transaction self conflicts with. self == 0 denotes a
+// non-transactional requester.
+func (d *Directory) CheckWrite(a mem.Addr, self uint64) []Conflict {
+	e := d.entries[mem.LineOf(a)]
+	if e == nil {
+		return nil
+	}
+	var out []Conflict
+	if e.txOwner != 0 && e.txOwner != self {
+		out = append(out, Conflict{With: e.txOwner, Kind: WriteAfterWrite})
+	}
+	for tx := range e.txSharers {
+		if tx != self {
+			out = append(out, Conflict{With: tx, Kind: WriteAfterRead})
+		}
+	}
+	sortConflicts(out)
+	return out
+}
+
+// CheckRead returns the transactions a shared (GetS-style) request for a
+// by transaction self conflicts with.
+func (d *Directory) CheckRead(a mem.Addr, self uint64) []Conflict {
+	e := d.entries[mem.LineOf(a)]
+	if e == nil {
+		return nil
+	}
+	if e.txOwner != 0 && e.txOwner != self {
+		return []Conflict{{With: e.txOwner, Kind: ReadAfterWrite}}
+	}
+	return nil
+}
+
+func sortConflicts(cs []Conflict) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].With < cs[j].With })
+}
+
+// AddRead records that transaction tx read line a (sets the Tx-bit and
+// adds tx to Tx-Sharers).
+func (d *Directory) AddRead(a mem.Addr, tx uint64) {
+	if tx == 0 {
+		return
+	}
+	e := d.entryFor(a)
+	if e.txOwner == tx {
+		return // owner's reads are subsumed
+	}
+	e.txSharers[tx] = struct{}{}
+	d.index(tx, a)
+}
+
+// AddWrite records that transaction tx wrote line a (sets Tx-Owner).
+// Eager conflict detection guarantees at most one owner; a second owner
+// is a harness bug and panics.
+func (d *Directory) AddWrite(a mem.Addr, tx uint64) {
+	if tx == 0 {
+		return
+	}
+	e := d.entryFor(a)
+	if e.txOwner != 0 && e.txOwner != tx {
+		panic(fmt.Sprintf("coherence: two transactional owners for line %#x: %d and %d", uint64(mem.LineOf(a)), e.txOwner, tx))
+	}
+	e.txOwner = tx
+	delete(e.txSharers, tx) // promotion from sharer to owner
+	d.index(tx, a)
+}
+
+// TxInfo reports the transactional state of line a: its owner (0 if
+// none) and its sharers in ascending ID order.
+func (d *Directory) TxInfo(a mem.Addr) (owner uint64, sharers []uint64) {
+	e := d.entries[mem.LineOf(a)]
+	if e == nil {
+		return 0, nil
+	}
+	for tx := range e.txSharers {
+		sharers = append(sharers, tx)
+	}
+	sort.Slice(sharers, func(i, j int) bool { return sharers[i] < sharers[j] })
+	return e.txOwner, sharers
+}
+
+// SurrenderLine removes and returns the transactional state of line a.
+// The HTM layer calls this on LLC eviction, transferring responsibility
+// for the line to the evicted transactions' address signatures.
+func (d *Directory) SurrenderLine(a mem.Addr) (owner uint64, sharers []uint64) {
+	la := mem.LineOf(a)
+	e := d.entries[la]
+	if e == nil {
+		return 0, nil
+	}
+	owner, sharers = d.TxInfo(la)
+	for _, tx := range sharers {
+		delete(d.byTx[tx], la)
+	}
+	if owner != 0 {
+		delete(d.byTx[owner], la)
+	}
+	delete(d.entries, la)
+	return owner, sharers
+}
+
+// ClearTx removes transaction tx from every entry it appears in (done
+// when tx commits or aborts) and returns the lines it owned, in
+// ascending order — the on-chip write-set the commit/abort protocol must
+// process.
+func (d *Directory) ClearTx(tx uint64) (owned []mem.Addr) {
+	for la := range d.byTx[tx] {
+		e := d.entries[la]
+		if e == nil {
+			continue
+		}
+		if e.txOwner == tx {
+			e.txOwner = 0
+			owned = append(owned, la)
+		}
+		delete(e.txSharers, tx)
+		if e.empty() {
+			delete(d.entries, la)
+		}
+	}
+	delete(d.byTx, tx)
+	sort.Slice(owned, func(i, j int) bool { return owned[i] < owned[j] })
+	return owned
+}
+
+// LinesOf returns every line tx currently appears on, ascending.
+func (d *Directory) LinesOf(tx uint64) []mem.Addr {
+	out := make([]mem.Addr, 0, len(d.byTx[tx]))
+	for la := range d.byTx[tx] {
+		out = append(out, la)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Entries returns the number of lines with live transactional state.
+func (d *Directory) Entries() int { return len(d.entries) }

@@ -1,0 +1,528 @@
+package core
+
+import (
+	"fmt"
+
+	"uhtm/internal/cache"
+	"uhtm/internal/coherence"
+	"uhtm/internal/mem"
+	"uhtm/internal/signature"
+	"uhtm/internal/sim"
+	"uhtm/internal/stats"
+)
+
+// victim pairs a conflicting transaction with the classification of the
+// conflict (directory conflicts are always true; signature conflicts may
+// be false positives).
+type victim struct {
+	tx    *Tx
+	cause stats.AbortCause
+}
+
+// access is the heart of the machine: one load or store by core, inside
+// transaction tx (nil for non-transactional accesses). It performs, in
+// order: TSS abort-flag check, staged conflict detection and resolution
+// (which may unwind self or roll back victims), the cache-hierarchy walk
+// with latency accounting and eviction/overflow handling, and footprint
+// tracking (directory Tx-fields, signatures, undo capture).
+func (m *Machine) access(th *sim.Thread, core int, tx *Tx, a mem.Addr, write bool) {
+	m.accessEx(th, core, tx, a, write, false)
+}
+
+// accessEx is access with a streamed flag: streamed misses (bulk value
+// transfers behind prefetchers) charge bandwidth cost instead of miss
+// latency; detection and cache state are identical.
+func (m *Machine) accessEx(th *sim.Thread, core int, tx *Tx, a mem.Addr, write, streamed bool) {
+	m.syncCount[core]++
+	if m.syncCount[core] >= m.opts.SyncEvery {
+		m.syncCount[core] = 0
+		th.Sync()
+	}
+	if tx != nil {
+		tx.checkAbortFlag()
+	}
+	la := mem.LineOf(a)
+	if mem.InLogArea(la) {
+		panic(fmt.Sprintf("core: software access to reserved log area %#x", uint64(la)))
+	}
+
+	llcResident := m.llc.Contains(la) || m.l1[core].Contains(la)
+
+	// --- Conflict detection (Section IV-D) ---
+	var victims []victim
+	selfID := uint64(0)
+	var domain = -1
+	if tx != nil {
+		selfID = tx.id
+		domain = tx.domain
+	} else if c := m.ntDomain(core); c >= 0 {
+		domain = c
+	}
+
+	// On-chip: the directory is authoritative and precise.
+	if m.usesDirectory() {
+		var dcs []coherence.Conflict
+		if write {
+			dcs = m.dir.CheckWrite(la, selfID)
+		} else {
+			dcs = m.dir.CheckRead(la, selfID)
+		}
+		for _, c := range dcs {
+			if v := m.active[c.With]; v != nil {
+				victims = append(victims, victim{tx: v, cause: stats.CauseTrueConflict})
+			}
+		}
+	}
+
+	// Off-chip: address signatures (or precise sets for Ideal).
+	probe := false
+	switch m.opts.Detect {
+	case DetectSignatureOnly:
+		probe = true // all coherence traffic reaches the signatures
+	case DetectStaged, DetectIdeal:
+		// Only LLC-missed requests reach the memory-bus signatures,
+		// plus lines whose directory entry carries the sticky
+		// check-signatures bit (set when a fill matched a signature).
+		probe = !llcResident || m.sticky[la]
+	}
+	if probe {
+		vs, matched := m.probeOffChip(la, tx, domain, write)
+		victims = append(victims, vs...)
+		if matched && !llcResident {
+			m.stickySet(la)
+		}
+	}
+
+	// --- Conflict resolution (Table II) ---
+	if len(victims) > 0 {
+		onChip := llcResident
+		m.resolve(tx, victims, onChip)
+	}
+
+	// Ground truth: after resolution, no other live transaction that
+	// shares data may still hold a conflicting footprint on this line.
+	if m.opts.Paranoid {
+		m.paranoidCheck(tx, la, write)
+	}
+
+	// --- Cache walk ---
+	m.walk(th, core, la, tx, write, streamed)
+
+	// A capacity overflow of the requester's own footprint during the
+	// walk marks its TSS flag; unwind before recording the access.
+	if tx != nil {
+		tx.checkAbortFlag()
+	}
+
+	// --- Footprint tracking ---
+	if tx != nil {
+		m.track(tx, la, write)
+	}
+}
+
+// usesDirectory reports whether the configured detection consults the
+// coherence directory (all schemes except pure signature checking).
+func (m *Machine) usesDirectory() bool {
+	return m.opts.Detect != DetectSignatureOnly
+}
+
+// ntDomain returns the conflict domain of non-transactional accesses
+// from a core, or -1 when none was registered.
+func (m *Machine) ntDomain(core int) int {
+	if core < len(m.coreDomain) {
+		return m.coreDomain[core]
+	}
+	return -1
+}
+
+// probeOffChip checks the request against other transactions'
+// signatures. Scope follows the isolation option: with isolation only
+// same-domain signatures are consulted; without it, every signature in
+// the machine is (the consolidated-environment false-conflict source the
+// optimization removes). It returns conflicting victims and whether any
+// signature matched at all (for the sticky bit).
+func (m *Machine) probeOffChip(la mem.Addr, tx *Tx, domain int, write bool) ([]victim, bool) {
+	var out []victim
+	matched := false
+	for _, other := range m.activeInOrder() {
+		if tx != nil && other.id == tx.id {
+			continue
+		}
+		if other.slowPath {
+			continue // serialized; cannot conflict within its domain
+		}
+		if m.opts.Isolation && other.domain != domain {
+			continue // signature isolation: different conflict domain
+		}
+		m.statsFor(other.domain).SigChecks++
+		var kind signature.CheckKind
+		switch m.opts.Detect {
+		case DetectIdeal:
+			kind = m.idealCheck(other, la, write)
+			// Sticky on any precise membership: a read that hits another
+			// transaction's read-set is not a conflict, but the line must
+			// keep being checked once resident (a later write would be).
+			if other.sig.PreciseRead.Contains(la) || other.sig.PreciseWrite.Contains(la) {
+				matched = true
+			}
+		default:
+			if write {
+				kind = other.sig.CheckWrite(la)
+			} else {
+				kind = other.sig.CheckRead(la)
+			}
+			// Same sticky rule at filter granularity: read-filter hits on
+			// a read request set the check bit without aborting anyone.
+			if kind != signature.NoConflict ||
+				other.sig.Read.MayContain(la) || other.sig.Write.MayContain(la) {
+				matched = true
+			}
+		}
+		switch kind {
+		case signature.TrueConflict:
+			out = append(out, victim{tx: other, cause: stats.CauseTrueConflict})
+		case signature.FalsePositive:
+			out = append(out, victim{tx: other, cause: stats.CauseFalsePositive})
+		}
+	}
+	return out, matched
+}
+
+// idealCheck consults the precise overflow shadows — perfect detection.
+func (m *Machine) idealCheck(other *Tx, la mem.Addr, write bool) signature.CheckKind {
+	if write {
+		if other.sig.PreciseRead.Contains(la) || other.sig.PreciseWrite.Contains(la) {
+			return signature.TrueConflict
+		}
+	} else if other.sig.PreciseWrite.Contains(la) {
+		return signature.TrueConflict
+	}
+	return signature.NoConflict
+}
+
+// activeInOrder returns live transactions in ascending ID order so
+// victim processing is deterministic.
+func (m *Machine) activeInOrder() []*Tx {
+	out := m.activeScratch[:0]
+	for _, t := range m.byCore {
+		if t != nil && !t.finished {
+			out = append(out, t)
+		}
+	}
+	m.activeScratch = out
+	return out
+}
+
+// resolve applies Table II: if exactly one side overflowed, the
+// non-overflowed side aborts; otherwise requester-wins on-chip and
+// requester-aborts off-chip. Non-transactional requesters and slow-path
+// transactions never abort. If the requester must abort it unwinds here;
+// otherwise every victim is rolled back in place.
+func (m *Machine) resolve(tx *Tx, victims []victim, onChip bool) {
+	selfAbort := false
+	var selfCause stats.AbortCause
+	for _, v := range victims {
+		if v.tx.slowPath {
+			// The lock holder never aborts; a (cross-domain
+			// false-positive) conflict with it aborts the requester.
+			if tx != nil && !tx.slowPath {
+				selfAbort, selfCause = true, v.cause
+				break
+			}
+			continue
+		}
+		if tx == nil || tx.slowPath {
+			continue // requester cannot abort; victim will
+		}
+		reqOvf := tx.status.overflowed
+		vicOvf := v.tx.status.overflowed
+		switch {
+		case vicOvf && !reqOvf:
+			selfAbort, selfCause = true, v.cause
+		case reqOvf && !vicOvf:
+			// victim aborts
+		case m.opts.Aging: // ablation: the younger transaction aborts
+			if tx.id > v.tx.id {
+				selfAbort, selfCause = true, v.cause
+			}
+		default: // none or both overflowed
+			if !onChip {
+				// requester-aborts (no extra inter-processor traffic)
+				selfAbort, selfCause = true, v.cause
+			}
+			// on-chip: requester-wins → victim aborts
+		}
+		if selfAbort {
+			break
+		}
+	}
+	if selfAbort {
+		panic(txAbort{cause: selfCause})
+	}
+	for _, v := range victims {
+		if v.tx.status.abortFlag || v.tx.slowPath {
+			continue // already marked this round / unabortable
+		}
+		m.abortVictim(v.tx, v.cause)
+	}
+}
+
+// abortVictim marks v aborted in the TSS, performs its rollback (the
+// hardware abort protocol runs regardless of whether v's thread is
+// scheduled — Section IV-E's context-switch handling), and charges the
+// rollback latency to v's core. v's thread observes the flag at its next
+// transactional operation and unwinds.
+func (m *Machine) abortVictim(v *Tx, cause stats.AbortCause) {
+	v.status.abortFlag = true
+	v.status.abortCause = cause
+	cost := m.rollback(v)
+	v.th.Bump(cost)
+}
+
+// paranoidCheck panics if ground truth says a conflicting footprint
+// survived detection — the simulator's safety net for the staged scheme.
+func (m *Machine) paranoidCheck(tx *Tx, la mem.Addr, write bool) {
+	for _, other := range m.activeInOrder() {
+		if other.slowPath || (tx != nil && other.id == tx.id) {
+			continue
+		}
+		if other.status.abortFlag {
+			continue // already aborted, footprint dead
+		}
+		if other.writeLines.Contains(la) || (write && other.readLines.Contains(la)) {
+			panic(fmt.Sprintf("core: missed conflict on %#x between requester %v and %v (detect=%v)",
+				uint64(la), tx, other, m.opts.Detect))
+		}
+	}
+}
+
+// walk models the two-level hierarchy plus hybrid memory: L1 → LLC →
+// (DRAM | DRAM-cache | NVM), charging Table III latencies and letting
+// fills evict (which feeds the overflow machinery).
+func (m *Machine) walk(th *sim.Thread, core int, la mem.Addr, tx *Tx, write, streamed bool) {
+	cfg := m.cfg
+	lat := cfg.L1Latency
+	if !m.l1[core].Lookup(la) {
+		lat += cfg.LLCLatency
+		if m.llc.Lookup(la) {
+			m.l1[core].Insert(la)
+		} else if streamed {
+			// Bulk transfer: the prefetcher hides the miss latency; the
+			// line costs bandwidth only.
+			lat = cfg.L1Latency + m.lat.StreamLine
+			m.dcache.Lookup(la) // keep DRAM-cache LRU state honest
+			m.llc.Insert(la)
+			m.l1[core].Insert(la)
+		} else {
+			// Memory access.
+			switch {
+			case mem.KindOf(la) == mem.DRAM:
+				lat += cfg.DRAMLatency
+				// Lazy (redo) DRAM versioning pays a log indirection to
+				// find the new value of an overflowed line (Fig. 4b).
+				if m.opts.DRAMLog == DRAMRedo && tx != nil {
+					if _, ovf := tx.overflowedDRAM[la]; ovf {
+						lat += cfg.DRAMLatency
+					}
+				}
+			case !m.opts.NoDRAMCache && m.dcache.Lookup(la):
+				lat += cfg.DRAMLatency // early-evicted block: DRAM speed
+			default:
+				lat += cfg.NVMReadLatency
+			}
+			m.llc.Insert(la)
+			m.l1[core].Insert(la)
+		}
+	}
+	if write {
+		m.l1[core].MarkDirty(la)
+		m.llc.MarkDirty(la) // keep LLC aware for write-back modeling
+	}
+	th.Advance(lat)
+	m.drainEvictions(tx)
+}
+
+// onL1Evict handles an L1 victim: dirty lines write back into the LLC,
+// and L1-evicted lines of a transaction's write-set go to its overflow
+// list (Section IV-B, "locating the write-set").
+func (m *Machine) onL1Evict(core int, e cache.Eviction) {
+	if !m.llc.Contains(e.Addr) {
+		m.llc.Insert(e.Addr)
+	}
+	if e.Dirty {
+		m.llc.MarkDirty(e.Addr)
+	}
+	if owner, _ := m.dir.TxInfo(e.Addr); owner != 0 {
+		if t := m.active[owner]; t != nil {
+			t.overflowList[e.Addr] = struct{}{}
+		}
+	}
+}
+
+// onLLCEvict queues the victim; overflow handling runs after the current
+// fill completes (drainEvictions) to keep cache internals reentrant-free.
+func (m *Machine) onLLCEvict(e cache.Eviction) {
+	m.pendingEvicts = append(m.pendingEvicts, e)
+}
+
+// drainEvictions processes queued LLC victims: inclusive invalidation of
+// L1 copies, write-back of dirty data, and the transaction-overflow
+// machinery of Section IV-B.
+func (m *Machine) drainEvictions(requester *Tx) {
+	for len(m.pendingEvicts) > 0 {
+		e := m.pendingEvicts[0]
+		m.pendingEvicts = m.pendingEvicts[1:]
+		la := e.Addr
+		// Inclusive LLC: drop L1 copies.
+		for _, l1 := range m.l1 {
+			l1.Invalidate(la)
+		}
+		owner, sharers := m.dir.SurrenderLine(la)
+		// Non-transactional dirty write-back.
+		if e.Dirty && owner == 0 {
+			if mem.KindOf(la) == mem.NVM {
+				// Non-transactional NVM data drains through the DRAM
+				// cache (immediately eligible).
+				m.dcache.Insert(la, 0)
+			}
+			// DRAM data: the live image is already current.
+		}
+		for _, sh := range sharers {
+			if t := m.active[sh]; t != nil && !t.status.abortFlag {
+				m.overflowRead(t, la, requester)
+			}
+		}
+		if owner != 0 {
+			if t := m.active[owner]; t != nil && !t.status.abortFlag {
+				m.overflowWrite(t, la, requester)
+			}
+		}
+	}
+}
+
+// overflowRead moves a transactional read of la from directory tracking
+// to t's read signature (or aborts t under the LLC-bounded scheme).
+// Serialized transactions exceed the LLC freely — that is the point of
+// the slow path — and need no conflict tracking.
+func (m *Machine) overflowRead(t *Tx, la mem.Addr, requester *Tx) {
+	if t.slowPath {
+		return
+	}
+	if m.opts.Detect == DetectLLCBounded {
+		m.capacityAbort(t, requester)
+		return
+	}
+	m.markOverflowed(t)
+	t.sig.AddRead(la)
+}
+
+// overflowWrite moves a transactional write of la off-chip: into the
+// write signature, plus the hybrid version management — DRAM lines are
+// undo-logged (old value) before the in-place update becomes the only
+// on-DRAM copy; NVM lines land in the DRAM cache as early-evicted
+// blocks.
+func (m *Machine) overflowWrite(t *Tx, la mem.Addr, requester *Tx) {
+	if t.slowPath {
+		// No conflict tracking, but uncommitted NVM data still must not
+		// bypass the DRAM cache on its way off-chip.
+		if mem.KindOf(la) == mem.NVM {
+			m.dcache.Insert(la, t.id)
+		}
+		return
+	}
+	if m.opts.Detect == DetectLLCBounded {
+		m.capacityAbort(t, requester)
+		return
+	}
+	m.markOverflowed(t)
+	t.sig.AddWrite(la)
+	if _, seen := t.overflowedDRAM[la]; seen {
+		return
+	}
+	switch mem.KindOf(la) {
+	case mem.DRAM:
+		t.overflowedDRAM[la] = struct{}{}
+		if m.opts.DRAMLog == DRAMUndo {
+			old := t.undoImages[la]
+			m.undoRings.ForCore(t.core).Append(walWrite(t.id, la, old))
+		}
+		// DRAMRedo: the new value notionally stays in the log; reads pay
+		// the indirection in walk and commit pays the copy-back.
+	case mem.NVM:
+		m.dcache.Insert(la, t.id)
+	}
+}
+
+// capacityAbort implements the LLC-bounded scheme's response to a
+// transactional line leaving the LLC. When the overflowing transaction
+// is the requester itself the unwind is deferred to the end of the walk
+// via its own TSS flag (the access path re-checks it).
+func (m *Machine) capacityAbort(t *Tx, requester *Tx) {
+	if !t.status.overflowed {
+		m.statsFor(t.domain).Overflows++
+		m.stats.Overflows++
+	}
+	t.status.overflowed = true
+	if t == requester {
+		t.status.abortFlag = true
+		t.status.abortCause = stats.CauseCapacity
+		return
+	}
+	m.abortVictim(t, stats.CauseCapacity)
+}
+
+// markOverflowed sets the TSS overflow bit (first time) and counts it.
+func (m *Machine) markOverflowed(t *Tx) {
+	if !t.status.overflowed {
+		t.status.overflowed = true
+		m.statsFor(t.domain).Overflows++
+		m.stats.Overflows++
+	}
+}
+
+// track records the access in the directory Tx-fields, the precise
+// footprint, undo images for writes, and — under signature-only
+// detection — the signatures themselves. Slow-path transactions also use
+// directory tracking: their write-set must stay identifiable so that an
+// eviction routes uncommitted NVM lines into the DRAM cache (not
+// straight to durable NVM) — failure-atomicity holds for the serialized
+// path too.
+func (m *Machine) track(tx *Tx, la mem.Addr, write bool) {
+	if write {
+		if _, ok := tx.undoImages[la]; !ok {
+			tx.undoImages[la] = m.store.PeekLine(la)
+		}
+		tx.writeLines.Insert(la)
+		if mem.KindOf(la) == mem.NVM {
+			tx.nvmWrites[la] = struct{}{}
+		}
+		if m.usesDirectory() || tx.slowPath {
+			m.dir.AddWrite(la, tx.id)
+		}
+		if m.opts.Detect == DetectSignatureOnly && !tx.slowPath {
+			tx.sig.AddWrite(la)
+		}
+	} else {
+		tx.readLines.Insert(la)
+		if m.usesDirectory() || tx.slowPath {
+			m.dir.AddRead(la, tx.id)
+		}
+		if m.opts.Detect == DetectSignatureOnly && !tx.slowPath {
+			tx.sig.AddRead(la)
+		}
+	}
+}
+
+// stickySet marks a line as requiring signature checks while on-chip.
+func (m *Machine) stickySet(la mem.Addr) {
+	if m.sticky == nil {
+		m.sticky = make(map[mem.Addr]bool)
+	}
+	m.sticky[la] = true
+}
+
+// statsFor returns the per-domain counters (machine-wide stats update on
+// commit/abort events elsewhere).
+func (m *Machine) statsFor(domain int) *stats.Stats {
+	return m.DomainStats(domain)
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"uhtm/internal/coherence"
+	"uhtm/internal/mem"
+	"uhtm/internal/signature"
+	"uhtm/internal/sim"
+	"uhtm/internal/stats"
+	"uhtm/internal/wal"
+)
+
+// walWrite builds a RecWrite record.
+func walWrite(txID uint64, la mem.Addr, data mem.Line) wal.Record {
+	return wal.Record{Type: wal.RecWrite, TxID: txID, Addr: la, Data: data}
+}
+
+// beginCost models xbegin plus TSS setup.
+const beginCost = 5 * 1000 // 5ns in picoseconds
+
+// begin allocates a transaction ID (the monotonically increasing global
+// counter of Section IV-C), registers the TSS entry, and hands out the
+// live Tx.
+func (m *Machine) begin(c *Ctx, attempt int, slow bool) *Tx {
+	m.txCounter++
+	id := m.txCounter
+	st := &txStatus{id: id, core: c.core, domain: c.domain, slowPath: slow}
+	tx := &Tx{
+		m:              m,
+		th:             c.th,
+		id:             id,
+		core:           c.core,
+		domain:         c.domain,
+		status:         st,
+		sig:            signature.NewPair(m.opts.SigBits),
+		readLines:      signature.NewSet(),
+		writeLines:     signature.NewSet(),
+		undoImages:     make(map[mem.Addr]mem.Line),
+		overflowList:   make(map[mem.Addr]struct{}),
+		overflowedDRAM: make(map[mem.Addr]struct{}),
+		nvmWrites:      make(map[mem.Addr]struct{}),
+		attempt:        attempt,
+		slowPath:       slow,
+	}
+	m.tss[id] = st
+	m.active[id] = tx
+	m.byCore[c.core] = tx
+	c.th.Advance(beginCost)
+	return tx
+}
+
+// commit runs the parallel commit protocol of Section IV-B: the NVM side
+// waits for redo-log durability and flushes the persistent write-set
+// toward the DRAM cache; the DRAM side places the commit mark on the
+// undo log (or copies redo values in place under DRAMRedo). The two
+// sides are charged in parallel (max).
+func (m *Machine) commit(tx *Tx) {
+	tx.th.Sync()
+	tx.checkAbortFlag()
+	cfg := m.cfg
+
+	var nvmLat, dramLat int64
+
+	// --- NVM side ---
+	if len(tx.nvmWrites) > 0 {
+		ring := m.redoRings.ForCore(tx.core)
+		for _, la := range sortedAddrs(tx.nvmWrites) {
+			img := m.store.PeekLine(la)
+			ring.Append(walWrite(tx.id, la, img))
+			nvmLat += int64(m.lat.RedoIssue)
+		}
+		m.lsnCounter++
+		ring.Append(wal.Record{Type: wal.RecCommit, TxID: tx.id, LSN: m.lsnCounter})
+		// The log writes were issued asynchronously during execution;
+		// the critical-path wait is the commit mark reaching the ADR
+		// domain.
+		nvmLat += int64(cfg.NVMWriteLatency)
+		// Flush the on-chip persistent write-set toward the DRAM cache,
+		// guided by the overflow list (one DRAM-cache access to read it
+		// when non-empty).
+		if len(tx.overflowList) > 0 {
+			nvmLat += int64(cfg.DRAMLatency)
+		}
+		for la := range tx.nvmWrites {
+			if m.llc.Contains(la) || m.l1[tx.core].Contains(la) {
+				m.dcache.Insert(la, tx.id)
+				nvmLat += int64(m.lat.FlushPerLine)
+			}
+		}
+		m.dcache.CommitTx(tx.id)
+	}
+
+	// --- DRAM side ---
+	if len(tx.overflowedDRAM) > 0 {
+		switch m.opts.DRAMLog {
+		case DRAMUndo:
+			// Fast commit: one commit mark on the DRAM log.
+			m.undoRings.ForCore(tx.core).Append(wal.Record{Type: wal.RecCommit, TxID: tx.id})
+			dramLat += int64(cfg.DRAMLatency)
+		case DRAMRedo:
+			// Lazy commit: copy every overflowed line from the log to
+			// its in-place location (the slow commit of Fig. 4c).
+			dramLat += int64(len(tx.overflowedDRAM)) * 2 * int64(cfg.DRAMLatency)
+			dramLat += int64(cfg.DRAMLatency) // mark
+		}
+	}
+
+	if nvmLat > dramLat {
+		tx.th.Advance(sim.Time(nvmLat))
+	} else {
+		tx.th.Advance(sim.Time(dramLat))
+	}
+
+	// --- Cleanup ---
+	m.finishCommit(tx)
+}
+
+// finishCommit retires the transaction's hardware state and records
+// statistics.
+func (m *Machine) finishCommit(tx *Tx) {
+	tx.finished = true
+	m.dir.ClearTx(tx.id)
+	// Undo-log records of this transaction are dead; the per-core ring
+	// reclaims to its head (one live transaction per core).
+	m.undoRings.ForCore(tx.core).Reclaim(m.undoRings.ForCore(tx.core).Head())
+	m.maybeReclaimRedo(tx.core)
+	m.clearSticky()
+
+	for la := range tx.nvmWrites {
+		m.pendingNVM[la] = m.store.PeekLine(la)
+	}
+
+	s := m.statsFor(tx.domain)
+	s.Commits++
+	s.ReadLines += uint64(tx.readLines.Len())
+	s.WriteLines += uint64(tx.writeLines.Len())
+	m.stats.Commits++
+	if tx.slowPath {
+		s.SlowPath++
+		m.stats.SlowPath++
+	}
+
+	if m.opts.TrackCommits {
+		writes := make(map[mem.Addr]mem.Line, tx.writeLines.Len())
+		for la := range tx.writeLines {
+			writes[la] = m.store.PeekLine(la)
+		}
+		m.commitLog = append(m.commitLog, committedTx{ID: tx.id, Domain: tx.domain, Writes: writes})
+	}
+
+	delete(m.active, tx.id)
+	delete(m.tss, tx.id)
+	if m.byCore[tx.core] == tx {
+		m.byCore[tx.core] = nil
+	}
+}
+
+// rollback reverts every written line to its pre-transaction image
+// (modeling cache invalidation on-chip, the undo-log walk for overflowed
+// DRAM lines, and the DRAM-cache invalidate bit for NVM lines), clears
+// the transaction's hardware tracking, and returns the latency the abort
+// protocol costs its core.
+func (m *Machine) rollback(tx *Tx) (cost sim.Time) {
+	if tx.rolledBack {
+		return 0
+	}
+	tx.rolledBack = true
+	tx.finished = true
+	cfg := m.cfg
+
+	cost = m.lat.PipelineFlush
+	onChip := 0
+	for la, img := range tx.undoImages {
+		old := img
+		m.store.PokeLine(la, &old)
+		// Invalidate cached copies of speculative data.
+		if p, _ := m.llc.Invalidate(la); p {
+			onChip++
+		}
+		for _, l1 := range m.l1 {
+			l1.Invalidate(la)
+		}
+	}
+	cost += sim.Time(onChip) * m.lat.AbortPerLine
+
+	if len(tx.overflowedDRAM) > 0 {
+		if m.opts.DRAMLog == DRAMUndo {
+			// Walk the undo log: read each entry and write it in place.
+			cost += sim.Time(len(tx.overflowedDRAM)) * 2 * cfg.DRAMLatency
+		}
+		// DRAMRedo aborts are cheap: the log is simply dropped.
+	}
+	if len(tx.overflowList) > 0 {
+		cost += cfg.DRAMLatency // read the overflow list
+	}
+
+	// NVM side: invalidate-bit on DRAM-cache lines; redo-log deletion is
+	// deferred to background reclamation (Section IV-C), so only the
+	// abort mark is charged when any redo state exists.
+	if m.dcache.InvalidateTx(tx.id) > 0 || len(tx.nvmWrites) > 0 {
+		m.redoRings.ForCore(tx.core).Append(wal.Record{Type: wal.RecAbort, TxID: tx.id})
+		cost += cfg.NVMWriteLatency
+	}
+
+	m.dir.ClearTx(tx.id)
+	m.undoRings.ForCore(tx.core).Reclaim(m.undoRings.ForCore(tx.core).Head())
+	tx.sig.Clear()
+	m.clearSticky()
+
+	delete(m.active, tx.id)
+	if m.byCore[tx.core] == tx {
+		m.byCore[tx.core] = nil
+	}
+	return cost
+}
+
+// finishAbort completes an unwound attempt on its own thread: performs
+// the rollback unless a remote aborter already did, and records the
+// abort cause.
+func (m *Machine) finishAbort(tx *Tx, cause stats.AbortCause) {
+	cost := m.rollback(tx)
+	tx.th.Advance(cost)
+	delete(m.tss, tx.id)
+
+	s := m.statsFor(tx.domain)
+	s.AbortsBy[cause]++
+	m.stats.AbortsBy[cause]++
+}
+
+// clearSticky drops all sticky check-signature bits once no live
+// transaction is overflowed — stale bits only cost extra checks, so a
+// coarse clearing point suffices.
+func (m *Machine) clearSticky() {
+	if m.sticky == nil {
+		return
+	}
+	for _, t := range m.active {
+		if t.status.overflowed {
+			return
+		}
+	}
+	m.sticky = nil
+}
+
+// maybeReclaimRedo keeps the per-core redo rings from filling: past the
+// high-water mark, every committed NVM line that may not have drained is
+// persisted in place, after which all log records are dead (committed
+// data durable in place; aborted and live transactions have no records —
+// records are only appended at commit) and the rings reclaim wholesale.
+// This is the background log-reclamation of [28]/Section IV-C, so it
+// charges no latency to any core.
+func (m *Machine) maybeReclaimRedo(core int) {
+	ring := m.redoRings.ForCore(core)
+	if ring.Len() < ring.Slots()/2 {
+		return
+	}
+	m.ReclaimLogs()
+}
+
+// ReclaimLogs runs one full background reclamation pass: committed NVM
+// images are persisted in place, the DRAM cache drains, and every redo
+// ring reclaims to its head. Safe at any quiescent point; a crash right
+// after it recovers from the durable in-place data alone.
+func (m *Machine) ReclaimLogs() {
+	m.persistPending()
+	m.dcache.DrainAll()
+	for i := 0; i < m.redoRings.Count(); i++ {
+		r := m.redoRings.ForCore(i)
+		r.Reclaim(r.Head())
+	}
+}
+
+// persistPending force-drains the committed image of every NVM line
+// still ahead of its in-place durable update.
+func (m *Machine) persistPending() {
+	for la, img := range m.pendingNVM {
+		l := img
+		m.store.PersistLine(la, &l)
+		delete(m.pendingNVM, la)
+	}
+}
+
+// Recover performs post-crash recovery (Section IV-C): it replays the
+// committed redo records of every core's NVM log onto the durable image.
+// DRAM contents and the undo logs are gone; the programmer keeps
+// recovery-relevant structures in NVM.
+func (m *Machine) Recover() wal.ReplayStats {
+	return m.redoRings.ReplayAll()
+}
+
+// Crash simulates a power failure on the machine's store and resets the
+// volatile hardware structures. Call Recover afterwards.
+func (m *Machine) Crash() {
+	m.store.Crash()
+	m.dir = coherence.NewDirectory()
+	m.llc.Reset()
+	for _, l1 := range m.l1 {
+		l1.Reset()
+	}
+	m.active = make(map[uint64]*Tx)
+	m.tss = make(map[uint64]*txStatus)
+	for i := range m.byCore {
+		m.byCore[i] = nil
+	}
+	m.sticky = nil
+}
+
+// DrainToNVM forces all committed NVM data to the durable image — a
+// clean shutdown, used by tests that compare durable images.
+func (m *Machine) DrainToNVM() {
+	m.persistPending()
+	m.dcache.DrainAll()
+}
+
+// sortedAddrs returns the keys of a line set in ascending order for
+// deterministic log layouts.
+func sortedAddrs(s map[mem.Addr]struct{}) []mem.Addr {
+	out := make([]mem.Addr, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func init() {
+	// Guard against accidental divergence of the record framing the
+	// recovery path depends on.
+	if wal.RecordSize%8 != 0 {
+		panic(fmt.Sprintf("core: wal.RecordSize %d not 8-byte aligned", wal.RecordSize))
+	}
+}

@@ -1,0 +1,338 @@
+// Package core implements the UHTM machine of Section IV, plus the three
+// comparison systems of Section V behind the same API: LLC-Bounded
+// (DHTM-like), Signature-Only (Bulk/LogTM-SE-like), UHTM itself
+// (staged detection, with and without signature isolation), and the
+// Ideal unbounded HTM (perfect off-chip conflict detection).
+//
+// One Machine is one simulated 16-core node: per-core L1s, a shared LLC,
+// the coherence directory with Tx-fields, per-core read/write address
+// signatures, the DRAM cache and hardware undo/redo logs, the
+// transaction status structure (TSS), and per-conflict-domain fallback
+// locks for the Algorithm-1 slow path.
+package core
+
+import (
+	"fmt"
+
+	"uhtm/internal/cache"
+	"uhtm/internal/coherence"
+	"uhtm/internal/dramcache"
+	"uhtm/internal/mem"
+	"uhtm/internal/signature"
+	"uhtm/internal/sim"
+	"uhtm/internal/stats"
+	"uhtm/internal/wal"
+)
+
+// Detection selects the conflict-detection scheme — the axis of Table I.
+type Detection int
+
+const (
+	// DetectLLCBounded: cache-coherence detection only; a transactional
+	// line leaving the LLC is a capacity abort (DHTM [30]).
+	DetectLLCBounded Detection = iota
+	// DetectSignatureOnly: every access of every transaction goes into
+	// its signatures and every request is checked against all of them
+	// (Bulk [12], LogTM-SE [64] extended to NVM).
+	DetectSignatureOnly
+	// DetectStaged: UHTM — directory on-chip, signatures only for
+	// LLC-overflowed lines, checked only by LLC-missed requests.
+	DetectStaged
+	// DetectIdeal: precise unbounded detection, no false positives.
+	DetectIdeal
+)
+
+func (d Detection) String() string {
+	switch d {
+	case DetectLLCBounded:
+		return "LLC-Bounded"
+	case DetectSignatureOnly:
+		return "Signature-Only"
+	case DetectStaged:
+		return "UHTM"
+	case DetectIdeal:
+		return "Ideal"
+	default:
+		return fmt.Sprintf("Detection(%d)", int(d))
+	}
+}
+
+// DRAMLogKind selects version management for LLC-overflowed DRAM lines —
+// the undo/redo comparison of Figure 10.
+type DRAMLogKind int
+
+const (
+	// DRAMUndo: eager — old value to the log at eviction, in-place
+	// update, fast commit, log-walk on abort (UHTM's choice).
+	DRAMUndo DRAMLogKind = iota
+	// DRAMRedo: lazy — new value stays in the log, reads of overflowed
+	// lines pay an indirection, commit copies values in place.
+	DRAMRedo
+)
+
+func (k DRAMLogKind) String() string {
+	if k == DRAMUndo {
+		return "undo"
+	}
+	return "redo"
+}
+
+// Options configures one Machine.
+type Options struct {
+	Detect    Detection
+	SigBits   int         // signature size in bits (staged/signature-only)
+	Isolation bool        // confine signature checks to the conflict domain
+	DRAMLog   DRAMLogKind // version management for overflowed DRAM lines
+
+	MaxRetries int // fast-path attempts before falling back to the lock
+
+	// StreamLine overrides the default streamed-miss bandwidth cost when
+	// positive (see Latencies.StreamLine).
+	StreamLine sim.Time
+
+	// Aging replaces the requester-wins/requester-loses tie-break with
+	// an age-based policy: the younger transaction (higher ID) aborts.
+	// The paper leaves the cyclic-abort livelock of requester policies
+	// to future work ([2], [4], [51], [65]); aging is the classic
+	// remedy, provided here as an ablation.
+	Aging bool
+
+	// NoDRAMCache removes the DRAM cache between LLC and NVM (the [28]
+	// substrate): early-evicted persistent lines are re-read at NVM
+	// latency instead of DRAM latency. Ablation for the hybrid logging
+	// substrate's value.
+	NoDRAMCache bool
+
+	// SyncEvery controls scheduler-yield granularity: a thread yields to
+	// the virtual-time scheduler every SyncEvery-th memory access
+	// (default 1 = perfectly ordered interleaving). Larger values batch
+	// a thread's accesses between yields — bounded causality skew traded
+	// for simulation speed on the full-size figure runs. Determinism is
+	// unaffected.
+	SyncEvery int
+
+	// Paranoid enables ground-truth validation on every access: a real
+	// overlap between active same-domain transactions that the
+	// configured detection scheme fails to report panics immediately.
+	// Tests run with it on; benchmarks may turn it off.
+	Paranoid bool
+
+	// TrackCommits retains per-commit write images so tests can check
+	// that the final memory state equals a serial replay in commit
+	// order. Memory-hungry; off for benchmarks.
+	TrackCommits bool
+}
+
+// DefaultOptions returns UHTM with the paper's preferred configuration
+// (staged detection, 4k-bit signatures, isolation on, undo for DRAM).
+func DefaultOptions() Options {
+	return Options{
+		Detect:     DetectStaged,
+		SigBits:    signature.Bits4K,
+		Isolation:  true,
+		DRAMLog:    DRAMUndo,
+		MaxRetries: 8,
+		Paranoid:   true,
+	}
+}
+
+// Latencies groups the protocol costs that are not raw-medium accesses.
+// Defaults model pipelined hardware paths; they matter only in so far as
+// every compared system shares them.
+type Latencies struct {
+	RedoIssue     sim.Time // per redo-log record issued at commit
+	FlushPerLine  sim.Time // per write-set line flushed at commit
+	AbortPerLine  sim.Time // per on-chip line invalidated at abort
+	PipelineFlush sim.Time // fixed abort cost
+	BackoffBase   sim.Time // exponential backoff base
+	BackoffCap    sim.Time
+	// StreamLine is the per-line cost of a *streamed* miss: bulk
+	// value reads/writes run behind hardware prefetchers at bandwidth,
+	// not at per-miss latency (this is what makes a hash-table put of a
+	// large value much faster than pointer chasing the same number of
+	// lines).
+	StreamLine sim.Time
+}
+
+// DefaultLatencies returns the standard protocol costs.
+func DefaultLatencies() Latencies {
+	return Latencies{
+		RedoIssue:     200 * sim.Picosecond,
+		FlushPerLine:  5 * sim.Nanosecond,
+		AbortPerLine:  2 * sim.Nanosecond,
+		PipelineFlush: 20 * sim.Nanosecond,
+		BackoffBase:   150 * sim.Nanosecond,
+		BackoffCap:    20 * sim.Microsecond,
+		StreamLine:    8 * sim.Nanosecond,
+	}
+}
+
+// txStatus is one TSS entry (Section IV-E): transaction ID, abort flag
+// (with the cause the aborter recorded), and the overflow bit.
+type txStatus struct {
+	id         uint64
+	core       int
+	domain     int
+	abortFlag  bool
+	abortCause stats.AbortCause
+	overflowed bool
+	slowPath   bool
+}
+
+// committedTx is retained when Options.TrackCommits is set: enough to
+// replay commits serially and compare memory images.
+type committedTx struct {
+	ID     uint64
+	Domain int
+	Writes map[mem.Addr]mem.Line // line → image at commit
+}
+
+// Machine is one simulated node.
+type Machine struct {
+	cfg  mem.Config
+	opts Options
+	lat  Latencies
+	eng  *sim.Engine
+
+	store  *mem.Store
+	l1     []*cache.Cache
+	llc    *cache.Cache
+	dcache *dramcache.Cache
+	dir    *coherence.Directory
+
+	undoRings *wal.Rings // DRAM log area, per core
+	redoRings *wal.Rings // NVM log area, per core
+
+	txCounter  uint64
+	lsnCounter uint64 // global commit sequence (log-serialization order)
+	tss        map[uint64]*txStatus
+	active     map[uint64]*Tx // live transactions by ID
+	byCore     []*Tx          // current transaction per core (nil if none)
+
+	locks map[int]*domainLock // fallback lock per conflict domain
+
+	stats       *stats.Stats
+	domainStats map[int]*stats.Stats
+
+	commitLog []committedTx
+
+	// coreDomain maps each core to the conflict domain of the software
+	// running on it (-1 when unregistered); non-transactional accesses
+	// inherit it for signature-isolation scoping.
+	coreDomain []int
+
+	// pendingEvicts queues LLC victims during a fill so overflow
+	// handling runs after the cache arrays are quiescent.
+	pendingEvicts []cache.Eviction
+
+	// sticky marks on-chip lines that matched an off-chip signature at
+	// fill time and therefore keep being checked against signatures —
+	// the reconstruction of a sticky "check signatures" directory bit
+	// that keeps the staged scheme sound after re-fetches.
+	sticky map[mem.Addr]bool
+
+	activeScratch []*Tx // reusable buffer for activeInOrder
+
+	// pendingNVM holds, per committed NVM line, the exact image at the
+	// latest commit that wrote it. Log reclamation persists these images
+	// before dropping redo records, so the durable update can never pick
+	// up a newer *uncommitted* in-place write.
+	pendingNVM map[mem.Addr]mem.Line
+
+	// syncCount drives the SyncEvery yield granularity, per core.
+	syncCount []int
+}
+
+// NewMachine builds a node with the given engine, configuration,
+// options, and default protocol latencies.
+func NewMachine(eng *sim.Engine, cfg mem.Config, opts Options) *Machine {
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 8
+	}
+	if opts.SigBits == 0 {
+		opts.SigBits = signature.Bits4K
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 1
+	}
+	lat := DefaultLatencies()
+	if opts.StreamLine > 0 {
+		lat.StreamLine = opts.StreamLine
+	}
+	m := &Machine{
+		cfg:         cfg,
+		opts:        opts,
+		lat:         lat,
+		eng:         eng,
+		store:       mem.NewStore(cfg),
+		dir:         coherence.NewDirectory(),
+		tss:         make(map[uint64]*txStatus),
+		active:      make(map[uint64]*Tx),
+		byCore:      make([]*Tx, cfg.Cores),
+		locks:       make(map[int]*domainLock),
+		stats:       &stats.Stats{},
+		domainStats: make(map[int]*stats.Stats),
+		coreDomain:  make([]int, cfg.Cores),
+		pendingNVM:  make(map[mem.Addr]mem.Line),
+		syncCount:   make([]int, cfg.Cores),
+	}
+	for i := range m.coreDomain {
+		m.coreDomain[i] = -1
+	}
+	m.llc = cache.New("llc", cfg.LLCSize, cfg.LLCWays, m.onLLCEvict)
+	for i := 0; i < cfg.Cores; i++ {
+		core := i
+		m.l1 = append(m.l1, cache.New(fmt.Sprintf("l1.%d", i), cfg.L1Size, cfg.L1Ways, func(e cache.Eviction) {
+			m.onL1Evict(core, e)
+		}))
+	}
+	m.dcache = dramcache.New(cfg.DRAMCacheSize, cfg.DRAMCacheWays)
+	m.undoRings = wal.NewRings(m.store, mem.DRAMLogBase, mem.LogAreaSize, cfg.Cores, false)
+	m.redoRings = wal.NewRings(m.store, mem.NVMLogBase, mem.LogAreaSize, cfg.Cores, true)
+	return m
+}
+
+// Store exposes the simulated memory (workload setup, checkers).
+func (m *Machine) Store() *mem.Store { return m.store }
+
+// Config returns the machine's memory configuration.
+func (m *Machine) Config() mem.Config { return m.cfg }
+
+// Options returns the machine's HTM options.
+func (m *Machine) Options() Options { return m.opts }
+
+// Stats returns the machine-wide counters.
+func (m *Machine) Stats() *stats.Stats { return m.stats }
+
+// DomainStats returns (creating if needed) the counters for one conflict
+// domain.
+func (m *Machine) DomainStats(domain int) *stats.Stats {
+	s := m.domainStats[domain]
+	if s == nil {
+		s = &stats.Stats{}
+		m.domainStats[domain] = s
+	}
+	return s
+}
+
+// CommitLog returns the retained per-commit write images (only populated
+// when Options.TrackCommits is set).
+func (m *Machine) CommitLog() []committedTx { return m.commitLog }
+
+// ActiveTxCount reports how many transactions are currently live.
+func (m *Machine) ActiveTxCount() int { return len(m.active) }
+
+func (m *Machine) lock(domain int) *domainLock {
+	l := m.locks[domain]
+	if l == nil {
+		l = &domainLock{}
+		m.locks[domain] = l
+	}
+	return l
+}
+
+// domainLock is the per-conflict-domain fallback lock of Algorithm 1.
+type domainLock struct {
+	held   bool
+	holder int // core ID
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"math/rand"
+
+	"uhtm/internal/mem"
+	"uhtm/internal/sim"
+)
+
+// PolluteLLC models one bandwidth-bound phase of a memory-intensive
+// application (the paper's graph500 observation: a single such app can
+// consume the whole shared LLC). n random lines of the private window
+// [base, base+window) stream into the LLC in one batch — hardware
+// prefetchers keep many fills in flight, so the per-line cost is a
+// bandwidth figure (64 B / 1.5 ns ≈ 40 GB/s), not a miss latency.
+//
+// Each fill is LLC-miss traffic, so it is checked against the address
+// signatures in scope exactly like any other miss: without signature
+// isolation a saturated transaction signature in another conflict domain
+// false-positively aborts on this traffic (the +17 % effect of Section
+// IV-D); with isolation the pollution is invisible to other domains. The
+// window must be private to this application (its own arena), so
+// directory conflicts cannot arise and are not checked.
+func (c *Ctx) PolluteLLC(base mem.Addr, window, n int, perLine sim.Time, rng *rand.Rand) {
+	m := c.m
+	c.th.Sync()
+	lines := window / mem.LineSize
+	for i := 0; i < n; i++ {
+		la := base + mem.Addr(rng.Intn(lines))*mem.LineSize
+		if !m.llc.Contains(la) {
+			// LLC-missed request: signature check in scope.
+			if m.opts.Detect != DetectLLCBounded {
+				vs, _ := m.probeOffChip(la, nil, c.domain, false)
+				for _, v := range vs {
+					if !v.tx.status.abortFlag && !v.tx.slowPath {
+						m.abortVictim(v.tx, v.cause)
+					}
+				}
+			}
+		}
+		m.llc.Insert(la)
+	}
+	c.th.Advance(sim.Time(n) * perLine)
+	m.drainEvictions(nil)
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"uhtm/internal/mem"
+	"uhtm/internal/signature"
+	"uhtm/internal/sim"
+	"uhtm/internal/stats"
+)
+
+// Tx is one running hardware transaction. Workload code obtains a Tx
+// from Ctx.Run and performs all shared-memory accesses through it; any
+// access may unwind the body with an internal abort signal, after which
+// Run rolls the transaction back and retries, so bodies must keep all
+// cross-attempt state in simulated memory.
+type Tx struct {
+	m      *Machine
+	th     *sim.Thread
+	id     uint64
+	core   int
+	domain int
+	status *txStatus
+
+	// sig carries the hardware read/write signatures: overflowed lines
+	// only under staged detection, every access under signature-only.
+	// Its precise shadows double as the Ideal detector's overflow sets.
+	sig *signature.Pair
+
+	// Full precise footprints (ground truth, Ideal detection, stats).
+	readLines  signature.Set
+	writeLines signature.Set
+
+	// undoImages holds the first-touch pre-image of every written line —
+	// the content the DRAM undo log and cache invalidation restore.
+	undoImages map[mem.Addr]mem.Line
+
+	// overflowList mirrors the hardware overflow list: L1-evicted lines
+	// of this transaction's write-set (locates the write-set in
+	// LLC/DRAM-cache at commit/abort without scanning).
+	overflowList map[mem.Addr]struct{}
+
+	// overflowedDRAM is the subset of the write-set that left the LLC
+	// and belongs to DRAM — the lines hybrid version management
+	// undo-logs (or redo-logs under DRAMRedo).
+	overflowedDRAM map[mem.Addr]struct{}
+
+	// nvmWrites is the NVM write-set (redo-logged, flushed at commit).
+	nvmWrites map[mem.Addr]struct{}
+
+	attempt    int
+	slowPath   bool
+	rolledBack bool // victim-abort already performed rollback
+	finished   bool
+}
+
+// txAbort is the unwind signal for an aborting transaction.
+type txAbort struct {
+	cause stats.AbortCause
+}
+
+// ID returns the transaction's globally unique identifier.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// Core returns the core the transaction runs on.
+func (tx *Tx) Core() int { return tx.core }
+
+// Domain returns the transaction's conflict domain.
+func (tx *Tx) Domain() int { return tx.domain }
+
+// Overflowed reports whether the transaction's footprint has left the
+// LLC (the TSS overflow bit).
+func (tx *Tx) Overflowed() bool { return tx.status.overflowed }
+
+// Attempt returns the zero-based retry count of this execution.
+func (tx *Tx) Attempt() int { return tx.attempt }
+
+// SlowPath reports whether this execution runs serialized under the
+// domain's fallback lock.
+func (tx *Tx) SlowPath() bool { return tx.slowPath }
+
+// checkAbortFlag unwinds if another transaction (or the lock holder)
+// marked this transaction aborted in the TSS.
+func (tx *Tx) checkAbortFlag() {
+	if tx.status.abortFlag {
+		panic(txAbort{cause: tx.status.abortCause})
+	}
+}
+
+// ReadU64 performs a transactional read of the 8-byte word at a.
+func (tx *Tx) ReadU64(a mem.Addr) uint64 {
+	tx.m.access(tx.th, tx.core, tx, a, false)
+	return tx.m.store.ReadU64(a)
+}
+
+// WriteU64 performs a transactional write of the 8-byte word at a.
+func (tx *Tx) WriteU64(a mem.Addr, v uint64) {
+	tx.m.access(tx.th, tx.core, tx, a, true)
+	tx.m.store.WriteU64(a, v)
+}
+
+// ReadBytes transactionally reads n bytes starting at a into a fresh
+// slice, touching every covered line.
+func (tx *Tx) ReadBytes(a mem.Addr, n int) []byte {
+	out := make([]byte, n)
+	first := true
+	tx.m.rangeLines(a, n, func(la mem.Addr) {
+		tx.m.accessEx(tx.th, tx.core, tx, la, false, !first)
+		first = false
+	})
+	tx.m.copyOut(a, out)
+	return out
+}
+
+// WriteBytes transactionally writes b starting at a.
+func (tx *Tx) WriteBytes(a mem.Addr, b []byte) {
+	first := true
+	tx.m.rangeLines(a, len(b), func(la mem.Addr) {
+		tx.m.accessEx(tx.th, tx.core, tx, la, true, !first)
+		first = false
+	})
+	tx.m.copyIn(a, b)
+}
+
+// Abort explicitly aborts the current attempt (xabort-style). Run will
+// retry the body.
+func (tx *Tx) Abort() {
+	panic(txAbort{cause: stats.CauseExplicit})
+}
+
+// rangeLines invokes fn for each line of [a, a+n).
+func (m *Machine) rangeLines(a mem.Addr, n int, fn func(mem.Addr)) {
+	if n <= 0 {
+		return
+	}
+	for la := mem.LineOf(a); la < a+mem.Addr(n); la += mem.LineSize {
+		fn(la)
+	}
+}
+
+// copyOut reads bytes from the live store without access accounting.
+func (m *Machine) copyOut(a mem.Addr, dst []byte) {
+	for i := range dst {
+		addr := a + mem.Addr(i)
+		l := m.store.PeekLine(addr)
+		dst[i] = l[mem.LineOffset(addr)]
+	}
+}
+
+// copyIn writes bytes to the live store without access accounting.
+func (m *Machine) copyIn(a mem.Addr, src []byte) {
+	i := 0
+	for i < len(src) {
+		addr := a + mem.Addr(i)
+		la := mem.LineOf(addr)
+		off := mem.LineOffset(addr)
+		l := m.store.PeekLine(la)
+		n := copy(l[off:], src[i:])
+		m.store.PokeLine(la, &l)
+		i += n
+	}
+}
+
+func (tx *Tx) String() string {
+	return fmt.Sprintf("tx%d(core=%d,domain=%d)", tx.id, tx.core, tx.domain)
+}

@@ -1,0 +1,157 @@
+// Package dramcache models the DRAM cache that the hardware-logging
+// substrate [28] places between the LLC and NVM. LLC-evicted
+// transactional NVM lines ("early-evicted blocks") land here instead of
+// stalling on slow NVM, so reads of them hit at DRAM latency, and abort
+// invalidation happens here via the invalidate bit (Section IV-C "NVM").
+//
+// The structure is a presence/metadata model: data bytes live in the
+// mem.Store live image, and the *durable* in-place NVM update is driven
+// by the machine's commit-image bookkeeping (committed line images are
+// persisted before redo-log reclamation), never by this cache. That
+// keeps eager in-place writes by later transactions from leaking
+// uncommitted bytes to durable NVM through a drain.
+package dramcache
+
+import (
+	"uhtm/internal/cache"
+	"uhtm/internal/mem"
+)
+
+type lineMeta struct {
+	tx        uint64 // owning transaction; 0 = non-transactional/none
+	committed bool
+}
+
+// Cache is the DRAM cache.
+type Cache struct {
+	tags *cache.Cache
+	meta map[mem.Addr]*lineMeta
+	byTx map[uint64]map[mem.Addr]struct{}
+
+	// Drains counts committed lines displaced (their lazy in-place
+	// update is due); Drops counts uncommitted lines discarded (the redo
+	// log is their durability backstop).
+	Drains uint64
+	Drops  uint64
+}
+
+// New builds a DRAM cache of the given geometry.
+func New(size, ways int) *Cache {
+	c := &Cache{
+		meta: make(map[mem.Addr]*lineMeta),
+		byTx: make(map[uint64]map[mem.Addr]struct{}),
+	}
+	c.tags = cache.New("dram$", size, ways, c.onEvict)
+	return c
+}
+
+func (c *Cache) onEvict(e cache.Eviction) {
+	la := e.Addr
+	m := c.meta[la]
+	if m == nil {
+		return
+	}
+	if m.committed {
+		c.Drains++
+	} else {
+		c.Drops++
+	}
+	c.unindex(m.tx, la)
+	delete(c.meta, la)
+}
+
+func (c *Cache) index(tx uint64, la mem.Addr) {
+	if tx == 0 {
+		return
+	}
+	s := c.byTx[tx]
+	if s == nil {
+		s = make(map[mem.Addr]struct{})
+		c.byTx[tx] = s
+	}
+	s[la] = struct{}{}
+}
+
+func (c *Cache) unindex(tx uint64, la mem.Addr) {
+	if tx == 0 {
+		return
+	}
+	if s := c.byTx[tx]; s != nil {
+		delete(s, la)
+		if len(s) == 0 {
+			delete(c.byTx, tx)
+		}
+	}
+}
+
+// Insert records the line containing a as buffered, owned by transaction
+// tx (0 for non-transactional data, which is immediately committed).
+func (c *Cache) Insert(a mem.Addr, tx uint64) {
+	la := mem.LineOf(a)
+	if m := c.meta[la]; m != nil {
+		// Re-inserted (the line bounced LLC→DRAM$ again): adopt the
+		// newest owner.
+		c.unindex(m.tx, la)
+		m.tx = tx
+		m.committed = tx == 0
+		c.index(tx, la)
+		c.tags.Insert(la)
+		return
+	}
+	c.meta[la] = &lineMeta{tx: tx, committed: tx == 0}
+	c.index(tx, la)
+	c.tags.Insert(la)
+}
+
+// Lookup reports whether a's line is buffered, refreshing LRU.
+func (c *Cache) Lookup(a mem.Addr) bool { return c.tags.Lookup(a) }
+
+// Contains reports presence without LRU effects.
+func (c *Cache) Contains(a mem.Addr) bool { return c.tags.Contains(a) }
+
+// CommitTx marks every buffered line of tx committed. It returns the
+// number of lines marked.
+func (c *Cache) CommitTx(tx uint64) int {
+	n := 0
+	for la := range c.byTx[tx] {
+		if m := c.meta[la]; m != nil && m.tx == tx {
+			m.committed = true
+			n++
+		}
+	}
+	return n
+}
+
+// InvalidateTx sets the invalidate bit on every buffered line of tx —
+// the abort path — and drops them. It returns the number invalidated.
+func (c *Cache) InvalidateTx(tx uint64) int {
+	lines := c.byTx[tx]
+	n := 0
+	for la := range lines {
+		if m := c.meta[la]; m != nil && m.tx == tx {
+			c.tags.Invalidate(la)
+			delete(c.meta, la)
+			n++
+		}
+	}
+	delete(c.byTx, tx)
+	return n
+}
+
+// DrainAll displaces every committed buffered line (their in-place
+// updates are handled by the machine's commit-image bookkeeping).
+// Uncommitted lines stay.
+func (c *Cache) DrainAll() {
+	for la, m := range c.meta {
+		if !m.committed {
+			continue
+		}
+		c.Drains++
+		c.tags.Invalidate(la)
+		c.unindex(m.tx, la)
+		delete(c.meta, la)
+	}
+}
+
+// Len returns the number of buffered lines.
+func (c *Cache) Len() int { return len(c.meta) }

@@ -1,0 +1,393 @@
+// Package mem models the physical memory of the simulated machine: a
+// hybrid DRAM/NVM address space with the latency parameters of Table III
+// of the paper, reserved log areas for the hardware logs, and — crucially
+// for crash-recovery experiments — a separate *durable* NVM image that
+// only advances when the simulated hardware actually persists data.
+//
+// The backing store holds real bytes. Transactional data structures in
+// this reproduction live inside this address space (their pointers are
+// mem.Addr values), so rollback and recovery are verified against real
+// content rather than asserted.
+package mem
+
+import (
+	"fmt"
+
+	"uhtm/internal/sim"
+)
+
+// LineSize is the cache-line granularity of the simulated machine.
+const LineSize = 64
+
+// Addr is a physical address in the simulated machine.
+type Addr uint64
+
+// LineOf returns the address of the cache line containing a.
+func LineOf(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// LineOffset returns a's offset within its cache line.
+func LineOffset(a Addr) int { return int(a & (LineSize - 1)) }
+
+// Kind distinguishes the two memory technologies of the hybrid system.
+type Kind int
+
+const (
+	// DRAM is volatile memory: fast, lost on power failure.
+	DRAM Kind = iota
+	// NVM is non-volatile memory: slower, durable.
+	NVM
+)
+
+func (k Kind) String() string {
+	if k == DRAM {
+		return "DRAM"
+	}
+	return "NVM"
+}
+
+// Region boundaries of the simulated physical address map. DRAM occupies
+// a low window and NVM a high one; the top of each region is reserved
+// for the hardware log area (inaccessible to software, managed by the
+// memory controllers — Section IV-B of the paper).
+const (
+	DRAMBase Addr = 0x0000_0000_0000
+	DRAMSize Addr = 1 << 30 // 1 GiB of addressable DRAM
+	NVMBase  Addr = 0x100_0000_0000
+	NVMSize  Addr = 1 << 30 // 1 GiB of addressable NVM
+
+	// LogAreaSize is reserved at the top of each region for the
+	// hardware undo (DRAM) and redo (NVM) logs.
+	LogAreaSize Addr = 64 << 20
+
+	DRAMLogBase Addr = DRAMBase + DRAMSize - LogAreaSize
+	NVMLogBase  Addr = NVMBase + NVMSize - LogAreaSize
+)
+
+// Config carries the simulation configuration of Table III plus the
+// DRAM-cache geometry from the hardware-logging substrate [28].
+type Config struct {
+	Cores int // simulated cores (16 in the paper)
+
+	L1Size int // bytes, per-core (32 KB)
+	L1Ways int // associativity (8)
+
+	LLCSize int // bytes, shared (16 MB)
+	LLCWays int // associativity (16)
+
+	L1Latency  sim.Time // 1.5 ns
+	LLCLatency sim.Time // 15 ns
+
+	DRAMLatency     sim.Time // read/write, 82 ns
+	NVMReadLatency  sim.Time // 175 ns
+	NVMWriteLatency sim.Time // 94 ns (accepted at the write-pending queue; ADR)
+
+	// DRAMCacheSize/Ways size the DRAM cache between the LLC and NVM
+	// that buffers early-evicted persistent lines (per [28]). The paper
+	// does not publish its geometry; 32 MB/16-way keeps it larger than
+	// the LLC, as [28] requires.
+	DRAMCacheSize int
+	DRAMCacheWays int
+}
+
+// DefaultConfig returns Table III of the paper.
+func DefaultConfig() Config {
+	return Config{
+		Cores:           16,
+		L1Size:          32 << 10,
+		L1Ways:          8,
+		LLCSize:         16 << 20,
+		LLCWays:         16,
+		L1Latency:       1500 * sim.Picosecond,
+		LLCLatency:      15 * sim.Nanosecond,
+		DRAMLatency:     82 * sim.Nanosecond,
+		NVMReadLatency:  175 * sim.Nanosecond,
+		NVMWriteLatency: 94 * sim.Nanosecond,
+		DRAMCacheSize:   32 << 20,
+		DRAMCacheWays:   16,
+	}
+}
+
+// KindOf classifies an address as DRAM or NVM. It panics on addresses
+// outside both regions — always a simulator bug.
+func KindOf(a Addr) Kind {
+	switch {
+	case a >= DRAMBase && a < DRAMBase+DRAMSize:
+		return DRAM
+	case a >= NVMBase && a < NVMBase+NVMSize:
+		return NVM
+	}
+	panic(fmt.Sprintf("mem: address %#x outside DRAM and NVM regions", uint64(a)))
+}
+
+// InLogArea reports whether a falls inside a reserved hardware log area.
+func InLogArea(a Addr) bool {
+	return (a >= DRAMLogBase && a < DRAMBase+DRAMSize) ||
+		(a >= NVMLogBase && a < NVMBase+NVMSize)
+}
+
+// Line is the unit of storage: one cache line of real bytes.
+type Line [LineSize]byte
+
+// Store is the simulated physical memory. The live image is what the
+// cache hierarchy observes; the durable image is what NVM would hold
+// after an instantaneous power failure (in-place NVM data that the
+// hardware actually wrote back). DRAM contents exist only in the live
+// image and vanish at a crash.
+type Store struct {
+	cfg     Config
+	live    map[Addr]*Line
+	durable map[Addr]*Line // NVM lines only
+
+	// Access counters, by kind, for bandwidth-style reporting.
+	DRAMReads, DRAMWrites uint64
+	NVMReads, NVMWrites   uint64
+}
+
+// NewStore returns an empty store (all bytes zero) for the given config.
+func NewStore(cfg Config) *Store {
+	return &Store{
+		cfg:     cfg,
+		live:    make(map[Addr]*Line),
+		durable: make(map[Addr]*Line),
+	}
+}
+
+// Config returns the configuration the store was built with.
+func (s *Store) Config() Config { return s.cfg }
+
+// ReadLatency returns the raw-medium read latency for an address.
+func (s *Store) ReadLatency(a Addr) sim.Time {
+	if KindOf(a) == DRAM {
+		return s.cfg.DRAMLatency
+	}
+	return s.cfg.NVMReadLatency
+}
+
+// WriteLatency returns the raw-medium write latency for an address.
+func (s *Store) WriteLatency(a Addr) sim.Time {
+	if KindOf(a) == DRAM {
+		return s.cfg.DRAMLatency
+	}
+	return s.cfg.NVMWriteLatency
+}
+
+func (s *Store) lineLive(a Addr) *Line {
+	la := LineOf(a)
+	l := s.live[la]
+	if l == nil {
+		l = new(Line)
+		s.live[la] = l
+	}
+	return l
+}
+
+// ReadLine copies the live contents of the line containing a into dst
+// and bumps the read counter for the medium.
+func (s *Store) ReadLine(a Addr, dst *Line) {
+	*dst = *s.lineLive(a)
+	if KindOf(a) == DRAM {
+		s.DRAMReads++
+	} else {
+		s.NVMReads++
+	}
+}
+
+// WriteLine stores src as the live contents of the line containing a.
+// For NVM it does NOT advance the durable image: durability happens only
+// via PersistLine (log writes, DRAM-cache drains).
+func (s *Store) WriteLine(a Addr, src *Line) {
+	*s.lineLive(a) = *src
+	if KindOf(a) == DRAM {
+		s.DRAMWrites++
+	} else {
+		s.NVMWrites++
+	}
+}
+
+// PeekLine returns the live contents without charging an access; used by
+// checkers and statistics, never by the simulated hardware.
+func (s *Store) PeekLine(a Addr) Line { return *s.lineLive(a) }
+
+// PokeLine sets live contents without charging an access (checker use).
+func (s *Store) PokeLine(a Addr, src *Line) { *s.lineLive(a) = *src }
+
+// ReadU64 reads the 8-byte word at a from the live image (a must be
+// 8-byte aligned). Checker/convenience access: no latency accounting.
+func (s *Store) ReadU64(a Addr) uint64 {
+	if a%8 != 0 {
+		panic("mem: unaligned ReadU64")
+	}
+	l := s.lineLive(a)
+	off := LineOffset(a)
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(l[off+i])
+	}
+	return v
+}
+
+// WriteU64 writes the 8-byte word at a in the live image (checker use).
+func (s *Store) WriteU64(a Addr, v uint64) {
+	if a%8 != 0 {
+		panic("mem: unaligned WriteU64")
+	}
+	l := s.lineLive(a)
+	off := LineOffset(a)
+	for i := 0; i < 8; i++ {
+		l[off+i] = byte(v >> (8 * i))
+	}
+}
+
+// ReadBytes copies n bytes starting at a from the live image (checker
+// and setup use — no latency accounting).
+func (s *Store) ReadBytes(a Addr, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		l := s.lineLive(a + Addr(i))
+		out[i] = l[LineOffset(a+Addr(i))]
+	}
+	return out
+}
+
+// WriteBytes copies b into the live image starting at a (checker use).
+func (s *Store) WriteBytes(a Addr, b []byte) {
+	for i := range b {
+		l := s.lineLive(a + Addr(i))
+		l[LineOffset(a+Addr(i))] = b[i]
+	}
+}
+
+// PersistLine records the line containing a as durable in NVM with the
+// given contents. It models an in-place NVM update that has drained past
+// the ADR boundary. Panics for DRAM addresses.
+func (s *Store) PersistLine(a Addr, src *Line) {
+	if KindOf(a) != NVM {
+		panic("mem: PersistLine on DRAM address")
+	}
+	la := LineOf(a)
+	l := s.durable[la]
+	if l == nil {
+		l = new(Line)
+		s.durable[la] = l
+	}
+	*l = *src
+}
+
+// DurableLine returns the durable NVM contents of the line containing a.
+func (s *Store) DurableLine(a Addr) Line {
+	la := LineOf(a)
+	if l := s.durable[la]; l != nil {
+		return *l
+	}
+	return Line{}
+}
+
+// PersistLiveNVM snapshots every live NVM line into the durable image —
+// initialization durability, the state a formatted persistent heap has
+// before any transactions run. Call it after non-transactional setup
+// (prepopulation) and before crash-injection windows.
+func (s *Store) PersistLiveNVM() {
+	for a, l := range s.live {
+		if KindOf(a) == NVM && !InLogArea(a) {
+			cp := *l
+			d := s.durable[a]
+			if d == nil {
+				d = new(Line)
+				s.durable[a] = d
+			}
+			*d = cp
+		}
+	}
+}
+
+// Crash simulates an instantaneous power failure: the live image is
+// discarded and replaced by the durable NVM image; DRAM reads as zero.
+// The caller (recovery) then replays committed redo-log records.
+func (s *Store) Crash() {
+	s.live = make(map[Addr]*Line, len(s.durable))
+	for a, l := range s.durable {
+		cp := *l
+		s.live[a] = &cp
+	}
+}
+
+// SnapshotLive returns a deep copy of the live image, for checkers.
+func (s *Store) SnapshotLive() map[Addr]Line {
+	out := make(map[Addr]Line, len(s.live))
+	for a, l := range s.live {
+		out[a] = *l
+	}
+	return out
+}
+
+// Allocator is a bump allocator over one region of the address space.
+// The hardware log areas are excluded from its range.
+type Allocator struct {
+	kind  Kind
+	start Addr
+	next  Addr
+	end   Addr
+}
+
+// NewAllocator returns an allocator for the usable portion of a region.
+func NewAllocator(kind Kind) *Allocator {
+	if kind == DRAM {
+		return &Allocator{kind: kind, start: DRAMBase, next: DRAMBase, end: DRAMLogBase}
+	}
+	return &Allocator{kind: kind, start: NVMBase, next: NVMBase, end: NVMLogBase}
+}
+
+// NewArena returns an allocator over an explicit sub-range [base, end)
+// of kind's usable region. Disjoint arenas model separate processes —
+// no false sharing of cache lines across conflict domains.
+func NewArena(kind Kind, base, end Addr) *Allocator {
+	full := NewAllocator(kind)
+	if base < full.next || end > full.end || base >= end {
+		panic(fmt.Sprintf("mem: arena [%#x,%#x) outside usable %v region", uint64(base), uint64(end), kind))
+	}
+	return &Allocator{kind: kind, start: base, next: base, end: end}
+}
+
+// SplitRegion carves n equal, line-aligned, disjoint arenas out of
+// kind's usable region, optionally leaving reserve bytes free at the
+// top.
+func SplitRegion(kind Kind, n int, reserve Addr) []*Allocator {
+	full := NewAllocator(kind)
+	usable := full.end - full.next - reserve
+	per := (usable / Addr(n)) &^ (LineSize - 1)
+	if per < LineSize {
+		panic("mem: region too small for requested arenas")
+	}
+	out := make([]*Allocator, n)
+	for i := range out {
+		base := full.next + Addr(i)*per
+		out[i] = NewArena(kind, base, base+per)
+	}
+	return out
+}
+
+// Kind returns the region this allocator serves.
+func (al *Allocator) Kind() Kind { return al.kind }
+
+// Alloc returns the address of a fresh n-byte object aligned to align
+// (which must be a power of two). It panics when the region is
+// exhausted — simulated workloads are sized to fit.
+func (al *Allocator) Alloc(n int, align Addr) Addr {
+	if align == 0 || align&(align-1) != 0 {
+		panic("mem: alignment must be a power of two")
+	}
+	a := (al.next + align - 1) &^ (align - 1)
+	if a+Addr(n) > al.end {
+		panic(fmt.Sprintf("mem: %v region exhausted", al.kind))
+	}
+	al.next = a + Addr(n)
+	return a
+}
+
+// AllocLines allocates n whole cache lines, line-aligned.
+func (al *Allocator) AllocLines(n int) Addr {
+	return al.Alloc(n*LineSize, LineSize)
+}
+
+// Used reports the number of bytes handed out so far.
+func (al *Allocator) Used() Addr { return al.next - al.start }

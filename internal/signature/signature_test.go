@@ -1,0 +1,236 @@
+package signature
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"uhtm/internal/mem"
+)
+
+func TestBadFilterSizePanics(t *testing.T) {
+	for _, n := range []int{0, -64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFilter(%d) did not panic", n)
+				}
+			}()
+			NewFilter(n)
+		}()
+	}
+}
+
+func TestInsertContain(t *testing.T) {
+	f := NewFilter(Bits1K)
+	a := mem.Addr(0x4240)
+	if f.MayContain(a) {
+		t.Error("empty filter matched")
+	}
+	f.Insert(a)
+	if !f.MayContain(a) {
+		t.Error("inserted address not matched")
+	}
+	// Sub-line addresses alias to the same line.
+	if !f.MayContain(a + 63) {
+		t.Error("sub-line alias not matched")
+	}
+	if f.Count() != 1 {
+		t.Errorf("Count = %d", f.Count())
+	}
+}
+
+func TestClear(t *testing.T) {
+	f := NewFilter(Bits512)
+	for i := 0; i < 100; i++ {
+		f.Insert(mem.Addr(i * mem.LineSize))
+	}
+	f.Clear()
+	if !f.Empty() || f.Count() != 0 || f.FillRatio() != 0 {
+		t.Error("Clear left state")
+	}
+}
+
+// TestNoFalseNegatives is the safety-critical property: a Bloom filter
+// may over-report but must never miss an inserted line.
+func TestNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, bitsz := range []int{Bits512, Bits1K, Bits4K, Bits16K} {
+		f := NewFilter(bitsz)
+		var addrs []mem.Addr
+		for i := 0; i < 5000; i++ {
+			a := mem.Addr(rng.Uint64() % (1 << 30))
+			f.Insert(a)
+			addrs = append(addrs, a)
+		}
+		for _, a := range addrs {
+			if !f.MayContain(a) {
+				t.Fatalf("%d-bit filter false negative for %#x", bitsz, uint64(a))
+			}
+		}
+	}
+}
+
+// TestFalsePositiveRateOrdering verifies the core premise of Figure 7:
+// larger signatures produce fewer false positives at durable-transaction
+// footprints (hundreds of lines).
+func TestFalsePositiveRateOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const inserted = 1600 // ~100 KB of lines, the paper's footprint
+	fpRate := func(bitsz int) float64 {
+		f := NewFilter(bitsz)
+		in := map[mem.Addr]bool{}
+		for i := 0; i < inserted; i++ {
+			a := mem.LineOf(mem.Addr(rng.Uint64() % (1 << 28)))
+			f.Insert(a)
+			in[a] = true
+		}
+		fp, probes := 0, 0
+		for i := 0; i < 20000; i++ {
+			a := mem.LineOf(mem.Addr(rng.Uint64() % (1 << 28)))
+			if in[a] {
+				continue
+			}
+			probes++
+			if f.MayContain(a) {
+				fp++
+			}
+		}
+		return float64(fp) / float64(probes)
+	}
+	r512, r4k, r16k := fpRate(Bits512), fpRate(Bits4K), fpRate(Bits16K)
+	if !(r512 >= r4k && r4k >= r16k) {
+		t.Errorf("false-positive rates not monotone: 512=%.3f 4k=%.3f 16k=%.3f", r512, r4k, r16k)
+	}
+	// At this footprint a 512-bit filter is saturated — the paper's
+	// "more than 99% of transactions experience a false conflict".
+	if r512 < 0.9 {
+		t.Errorf("512-bit filter fp rate %.3f; expected near-saturation at %d lines", r512, inserted)
+	}
+}
+
+func TestFillRatio(t *testing.T) {
+	f := NewFilter(Bits512)
+	if f.FillRatio() != 0 {
+		t.Error("fresh filter not empty")
+	}
+	f.Insert(0)
+	r := f.FillRatio()
+	if r <= 0 || r > float64(numHashes)/float64(Bits512) {
+		t.Errorf("FillRatio after one insert = %v", r)
+	}
+}
+
+func TestPreciseSet(t *testing.T) {
+	s := NewSet()
+	s.Insert(0x1001) // line 0x1000
+	if !s.Contains(0x103F) {
+		t.Error("same line not contained")
+	}
+	if s.Contains(0x1040) {
+		t.Error("next line contained")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestPairChecks(t *testing.T) {
+	p := NewPair(Bits16K) // large: negligible false positives here
+	rd, wr := mem.Addr(0x10000), mem.Addr(0x20000)
+	p.AddRead(rd)
+	p.AddWrite(wr)
+
+	// Incoming write vs our read => conflict; vs our write => conflict.
+	if k := p.CheckWrite(rd); k != TrueConflict {
+		t.Errorf("write vs read-set = %v", k)
+	}
+	if k := p.CheckWrite(wr); k != TrueConflict {
+		t.Errorf("write vs write-set = %v", k)
+	}
+	// Incoming read vs our read => no conflict; vs our write => conflict.
+	if k := p.CheckRead(rd); k != NoConflict {
+		t.Errorf("read vs read-set = %v", k)
+	}
+	if k := p.CheckRead(wr); k != TrueConflict {
+		t.Errorf("read vs write-set = %v", k)
+	}
+	// Unrelated address: no conflict.
+	if k := p.CheckWrite(0x900000); k != NoConflict {
+		t.Errorf("unrelated = %v", k)
+	}
+}
+
+// TestPairFalsePositiveClassification drives a small filter to
+// saturation and confirms matches without precise membership classify as
+// FalsePositive, never as NoConflict (behaviour must follow hardware).
+func TestPairFalsePositiveClassification(t *testing.T) {
+	p := NewPair(Bits512)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		p.AddWrite(mem.Addr(rng.Uint64() % (1 << 28)))
+	}
+	sawFP := false
+	for i := 0; i < 1000 && !sawFP; i++ {
+		a := mem.Addr(rng.Uint64()%(1<<28)) | (1 << 35) // disjoint range
+		switch p.CheckRead(a) {
+		case TrueConflict:
+			t.Fatalf("true conflict reported for never-inserted %#x", uint64(a))
+		case FalsePositive:
+			sawFP = true
+		}
+	}
+	if !sawFP {
+		t.Error("saturated 512-bit filter produced no false positives in 1000 probes")
+	}
+	p.Clear()
+	if !p.Read.Empty() || !p.Write.Empty() || p.PreciseRead.Len() != 0 || p.PreciseWrite.Len() != 0 {
+		t.Error("Pair.Clear incomplete")
+	}
+}
+
+func TestCheckKindString(t *testing.T) {
+	if NoConflict.String() != "none" || TrueConflict.String() != "true" || FalsePositive.String() != "false-positive" {
+		t.Error("CheckKind strings wrong")
+	}
+}
+
+// Property: classification never contradicts ground truth — an inserted
+// line is always reported as a conflict of the right kind.
+func TestQuickCheckAgreesWithShadow(t *testing.T) {
+	f := func(seeds []uint32, probe uint32) bool {
+		p := NewPair(Bits512)
+		for i, s := range seeds {
+			a := mem.Addr(s) * mem.LineSize
+			if i%2 == 0 {
+				p.AddWrite(a)
+			} else {
+				p.AddRead(a)
+			}
+		}
+		a := mem.Addr(probe) * mem.LineSize
+		kw, kr := p.CheckWrite(a), p.CheckRead(a)
+		inW := p.PreciseWrite.Contains(a)
+		inR := p.PreciseRead.Contains(a)
+		if (inW || inR) && kw != TrueConflict {
+			return false // false negative on write check
+		}
+		if inW && kr != TrueConflict {
+			return false // false negative on read check
+		}
+		if !inW && !inR && kw == TrueConflict {
+			return false // fabricated true conflict
+		}
+		if !inW && kr == TrueConflict {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

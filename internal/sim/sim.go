@@ -1,0 +1,308 @@
+// Package sim provides the deterministic discrete-event engine that the
+// UHTM reproduction runs on. It stands in for gem5's system-call
+// emulation mode: every simulated hardware thread is a goroutine, but
+// exactly one of them executes at any moment, and the scheduler always
+// resumes the thread with the smallest virtual clock (ties broken by
+// thread ID). Memory-system code called from a thread therefore needs no
+// locking, interleavings are reproducible, and throughput numbers are a
+// pure function of the workload, the configuration, and the seed.
+//
+// The protocol between a thread and the scheduler is:
+//
+//	t.Sync()        // yield; resume only when t is the min-clock thread
+//	... perform an action against shared simulator state ...
+//	t.Advance(lat)  // charge the action's latency to t's clock
+//
+// Actions thus occur in global virtual-time order.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is a point in (or span of) virtual time, in picoseconds. The
+// picosecond base keeps Table III's 1.5 ns L1 latency integral.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds reports t as a float count of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Seconds reports t as a float count of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// ErrHalted is delivered (via panic, recovered by the engine) to threads
+// that are still live when the engine halts — e.g. at an injected power
+// failure. Thread bodies should not catch it.
+var ErrHalted = errors.New("sim: engine halted")
+
+// Thread is one simulated hardware context. Thread methods must only be
+// called from within the thread's own body function, except Suspend,
+// Resume and Clock, which the (single) currently-running thread may call
+// on any thread.
+type Thread struct {
+	id        int
+	name      string
+	eng       *Engine
+	clock     Time
+	resume    chan struct{}
+	started   bool
+	done      bool
+	suspended bool
+	body      func(*Thread)
+}
+
+// ID returns the thread's unique identifier (its core ID in the
+// simulated machine).
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the descriptive name given at spawn time.
+func (t *Thread) Name() string { return t.name }
+
+// Clock returns the thread's current virtual time.
+func (t *Thread) Clock() Time { return t.clock }
+
+// Engine returns the engine the thread belongs to.
+func (t *Thread) Engine() *Engine { return t.eng }
+
+// Advance charges d of computation or latency to the thread's clock
+// without yielding control.
+func (t *Thread) Advance(d Time) {
+	if d < 0 {
+		panic("sim: negative advance")
+	}
+	t.clock += d
+}
+
+// Sync yields to the scheduler and blocks until this thread is again the
+// minimum-clock runnable thread. Every externally visible action (a
+// memory access, a lock acquisition) must be preceded by Sync so that
+// actions occur in virtual-time order.
+func (t *Thread) Sync() {
+	t.eng.yieldCh <- t
+	_, ok := <-t.resume
+	_ = ok
+	if t.eng.halted {
+		panic(haltSignal{})
+	}
+}
+
+// WaitUntil repeatedly evaluates cond at poll intervals of the thread's
+// virtual time until it reports true. It models spin-waiting (e.g. the
+// pause loop in Algorithm 1 of the paper). cond runs while the thread
+// holds the execution token, so it may read shared simulator state.
+func (t *Thread) WaitUntil(cond func() bool, poll Time) {
+	if poll <= 0 {
+		poll = 10 * Nanosecond
+	}
+	for {
+		t.Sync()
+		if cond() {
+			return
+		}
+		t.Advance(poll)
+	}
+}
+
+// Bump charges d to t's clock from *outside* the thread — e.g. the abort
+// protocol charging rollback latency to a victim transaction's core. It
+// does not change suspension state.
+func (t *Thread) Bump(d Time) {
+	if d < 0 {
+		panic("sim: negative bump")
+	}
+	t.clock += d
+}
+
+// Suspend marks t as descheduled (a context switch taking it off-core);
+// the scheduler will not resume it until Resume is called. Suspending
+// the currently-running thread takes effect at its next Sync.
+func (t *Thread) Suspend() { t.suspended = true }
+
+// Resume makes a suspended thread runnable again, no earlier than
+// virtual time at. It is a no-op for running threads.
+func (t *Thread) Resume(at Time) {
+	t.suspended = false
+	if t.clock < at {
+		t.clock = at
+	}
+}
+
+// Suspended reports whether the thread is currently descheduled.
+func (t *Thread) Suspended() bool { return t.suspended }
+
+// Done reports whether the thread's body has returned.
+func (t *Thread) Done() bool { return t.done }
+
+type haltSignal struct{}
+
+// Engine owns the simulated threads and the virtual-time scheduler.
+type Engine struct {
+	threads []*Thread
+	yieldCh chan *Thread
+	rng     *rand.Rand
+	halted  bool
+	haltAt  Time
+	now     Time
+	running bool
+}
+
+// NewEngine returns an engine whose random decisions (backoff jitter,
+// workload key choice) derive from seed. The same seed yields the same
+// simulation.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		yieldCh: make(chan *Thread),
+		rng:     rand.New(rand.NewSource(seed)),
+		haltAt:  -1,
+	}
+}
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulated threads (single-threaded access).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Now returns the clock of the most recently scheduled thread — the
+// engine's notion of current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Spawn registers a new simulated thread. All threads must be spawned
+// before Run is called.
+func (e *Engine) Spawn(name string, body func(*Thread)) *Thread {
+	if e.running {
+		panic("sim: Spawn after Run")
+	}
+	t := &Thread{
+		id:     len(e.threads),
+		name:   name,
+		eng:    e,
+		resume: make(chan struct{}),
+		body:   body,
+	}
+	e.threads = append(e.threads, t)
+	return t
+}
+
+// Threads returns the spawned threads in ID order.
+func (e *Engine) Threads() []*Thread { return e.threads }
+
+// HaltAt schedules a hard stop (e.g. a power failure) the first time the
+// scheduler would dispatch a thread at or beyond virtual time at.
+func (e *Engine) HaltAt(at Time) { e.haltAt = at }
+
+// Halted reports whether the engine stopped before all threads finished.
+func (e *Engine) Halted() bool { return e.halted }
+
+// Run drives the simulation until every thread's body has returned, or
+// until a halt deadline fires. It returns the final virtual time: the
+// maximum clock reached by any thread.
+func (e *Engine) Run() Time {
+	e.running = true
+	for {
+		t := e.pick()
+		if t == nil {
+			break
+		}
+		if e.haltAt >= 0 && t.clock >= e.haltAt {
+			e.halt()
+			break
+		}
+		e.now = t.clock
+		e.dispatch(t)
+	}
+	e.running = false
+	for _, t := range e.threads {
+		if t.clock > e.now {
+			e.now = t.clock
+		}
+	}
+	return e.now
+}
+
+// pick returns the runnable thread with the smallest clock, or nil when
+// every thread is done. It panics if the only remaining threads are
+// suspended forever (a workload bug).
+func (e *Engine) pick() *Thread {
+	var best *Thread
+	live := 0
+	for _, t := range e.threads {
+		if t.done {
+			continue
+		}
+		live++
+		if t.suspended {
+			continue
+		}
+		if best == nil || t.clock < best.clock {
+			best = t
+		}
+	}
+	if best == nil && live > 0 {
+		panic("sim: all live threads suspended — deadlock")
+	}
+	return best
+}
+
+// dispatch hands the execution token to t and waits for it to yield or
+// finish.
+func (e *Engine) dispatch(t *Thread) {
+	if !t.started {
+		t.started = true
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(haltSignal); !ok {
+						panic(r)
+					}
+				}
+				t.done = true
+				e.yieldCh <- t
+			}()
+			t.body(t)
+		}()
+	} else {
+		t.resume <- struct{}{}
+	}
+	<-e.yieldCh
+}
+
+// halt stops the engine: every live started thread is resumed once so it
+// can unwind via the halt panic.
+func (e *Engine) halt() {
+	e.halted = true
+	// Sort for determinism of unwind order (irrelevant to state, but
+	// keeps goroutine scheduling tidy).
+	ts := make([]*Thread, 0, len(e.threads))
+	ts = append(ts, e.threads...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].id < ts[j].id })
+	for _, t := range ts {
+		if t.started && !t.done {
+			t.resume <- struct{}{}
+			<-e.yieldCh
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"uhtm/internal/sim"
+)
+
+func TestAbortAccounting(t *testing.T) {
+	var s Stats
+	s.Commits = 90
+	s.AbortsBy[CauseTrueConflict] = 4
+	s.AbortsBy[CauseFalsePositive] = 5
+	s.AbortsBy[CauseCapacity] = 1
+	if s.Aborts() != 10 {
+		t.Errorf("Aborts = %d", s.Aborts())
+	}
+	if s.Attempts() != 100 {
+		t.Errorf("Attempts = %d", s.Attempts())
+	}
+	if got := s.AbortRate(); got != 0.10 {
+		t.Errorf("AbortRate = %v", got)
+	}
+	if got := s.CauseShare(CauseFalsePositive); got != 0.05 {
+		t.Errorf("CauseShare(fp) = %v", got)
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	var s Stats
+	if s.AbortRate() != 0 || s.Throughput() != 0 || s.CauseShare(CauseLock) != 0 {
+		t.Error("zero stats produced non-zero rates")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	s := Stats{Commits: 500, Elapsed: 250 * sim.Millisecond}
+	if got := s.Throughput(); got != 2000 {
+		t.Errorf("Throughput = %v", got)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Stats{Commits: 10, Elapsed: 5 * sim.Microsecond, SigChecks: 3}
+	a.AbortsBy[CauseLock] = 2
+	b := Stats{Commits: 20, Elapsed: 9 * sim.Microsecond, Overflows: 7}
+	b.AbortsBy[CauseLock] = 1
+	a.Add(&b)
+	if a.Commits != 30 || a.AbortsBy[CauseLock] != 3 || a.Overflows != 7 || a.SigChecks != 3 {
+		t.Errorf("Add result: %+v", a)
+	}
+	if a.Elapsed != 9*sim.Microsecond {
+		t.Errorf("Elapsed = %v, want max", a.Elapsed)
+	}
+}
+
+func TestCauseStrings(t *testing.T) {
+	want := map[AbortCause]string{
+		CauseTrueConflict:  "true-conflict",
+		CauseFalsePositive: "false-positive",
+		CauseCapacity:      "capacity",
+		CauseLock:          "lock",
+		CauseExplicit:      "explicit",
+	}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), w)
+		}
+	}
+	if len(Causes()) != int(numCauses) {
+		t.Errorf("Causes() lists %d of %d causes", len(Causes()), int(numCauses))
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	var s Stats
+	s.Commits = 3
+	s.AbortsBy[CauseCapacity] = 1
+	out := s.String()
+	for _, frag := range []string{"commits=3", "cap=1", "rate=25.0%"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("String() = %q missing %q", out, frag)
+		}
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{Header: []string{"name", "value"}}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("a-much-longer-name", "22")
+	out := tbl.Format()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// All rows align to the same width.
+	if len(lines[0]) != len(lines[2]) && len(lines[2]) != len(lines[3]) {
+		t.Errorf("misaligned table:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+}

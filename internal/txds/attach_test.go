@@ -1,0 +1,81 @@
+package txds
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAttachRebindsStructures: the Attach* constructors rebind existing
+// structures by header address — the post-recovery path, where the
+// application finds its persistent roots again.
+func TestAttachRebindsStructures(t *testing.T) {
+	st, al := env()
+
+	h := NewHashMap(st, al, 64)
+	h.Put(st, 5, v("five"))
+	h2 := AttachHashMap(h.Head(), al)
+	if got, ok := h2.Get(st, 5); !ok || !bytes.Equal(got, v("five")) {
+		t.Error("AttachHashMap lost data")
+	}
+
+	b := NewBTree(st, al)
+	b.Put(st, 9, v("nine"))
+	b2 := AttachBTree(b.Head(), al)
+	if got, ok := b2.Get(st, 9); !ok || !bytes.Equal(got, v("nine")) {
+		t.Error("AttachBTree lost data")
+	}
+
+	r := NewRBTree(st, al)
+	r.Put(st, 3, v("three"))
+	r2 := AttachRBTree(r.Head(), al)
+	if got, ok := r2.Get(st, 3); !ok || !bytes.Equal(got, v("three")) {
+		t.Error("AttachRBTree lost data")
+	}
+
+	s := NewSkipList(st, al)
+	s.Put(st, 7, v("seven"))
+	s2 := AttachSkipList(s.Head(), al)
+	if got, ok := s2.Get(st, 7); !ok || !bytes.Equal(got, v("seven")) {
+		t.Error("AttachSkipList lost data")
+	}
+}
+
+// TestPutRefPublish: the copy-on-write publish path — value built first,
+// pointer spliced second — reads back correctly for inserts and updates.
+func TestPutRefPublish(t *testing.T) {
+	st, al := env()
+	h := NewHashMap(st, al, 16)
+	blob1 := BuildValue(st, al, v("first"))
+	h.PutRef(st, 1, blob1)
+	if got, ok := h.Get(st, 1); !ok || !bytes.Equal(got, v("first")) {
+		t.Fatalf("Get after PutRef = %q, %v", got, ok)
+	}
+	// Update by publishing a fresh blob.
+	blob2 := BuildValue(st, al, v("second"))
+	h.PutRef(st, 1, blob2)
+	if got, _ := h.Get(st, 1); !bytes.Equal(got, v("second")) {
+		t.Fatalf("Get after re-publish = %q", got)
+	}
+	if h.Len(st) != 1 {
+		t.Errorf("Len = %d", h.Len(st))
+	}
+	// Interleaves with regular Put.
+	h.Put(st, 1, v("third"))
+	if got, _ := h.Get(st, 1); !bytes.Equal(got, v("third")) {
+		t.Fatalf("Get after Put-over-ref = %q", got)
+	}
+}
+
+func TestBadBucketCountPanics(t *testing.T) {
+	st, al := env()
+	for _, n := range []int{0, -4, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHashMap(%d buckets) did not panic", n)
+				}
+			}()
+			NewHashMap(st, al, n)
+		}()
+	}
+}

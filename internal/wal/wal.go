@@ -1,0 +1,438 @@
+// Package wal implements the hardware logs of the paper's hybrid
+// version management: an undo log in the reserved DRAM log area (old
+// values of LLC-evicted DRAM lines, Section IV-B "DRAM Data") and a redo
+// log in the reserved NVM log area (new values of transactional NVM
+// lines, following the hardware-assisted logging design of [28]).
+//
+// Logs are rings of fixed-size records living *inside the simulated
+// address space*, one ring per core (per-core logs, as in ATOM/DHTM
+// [31], [30], keep reclamation a prefix operation). NVM log appends are
+// persisted to the durable image line by line — the write-pending queue
+// plus ADR makes an accepted log write durable, which is exactly the
+// paper's durability point — so crash recovery reads real bytes back out
+// of the durable image.
+package wal
+
+import (
+	"fmt"
+	"sort"
+
+	"uhtm/internal/mem"
+)
+
+// RecordType tags a log record.
+type RecordType uint8
+
+const (
+	// RecWrite carries a line image: the old value (undo log) or the
+	// new value (redo log) of Addr.
+	RecWrite RecordType = 1
+	// RecCommit is the commit mark for TxID: all preceding RecWrite
+	// records of that transaction are committed.
+	RecCommit RecordType = 2
+	// RecAbort marks TxID aborted; its RecWrite records are dead (redo)
+	// or must be applied to roll back (undo).
+	RecAbort RecordType = 3
+)
+
+func (t RecordType) String() string {
+	switch t {
+	case RecWrite:
+		return "write"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("RecordType(%d)", uint8(t))
+	}
+}
+
+// Record is one log entry.
+type Record struct {
+	Type RecordType
+	TxID uint64
+	Addr mem.Addr // line address (RecWrite only)
+	Data mem.Line // line image (RecWrite only)
+	// LSN is the global commit sequence number stamped on RecCommit
+	// records. The paper's memory controllers serialize concurrent log
+	// appends into one log area, giving commits a total order; with
+	// per-core rings the LSN preserves that order so cross-core writes
+	// to the same line replay correctly.
+	LSN uint64
+}
+
+// RecordSize is the on-"disk" footprint of an encoded record:
+// 8 (type+magic) + 8 (txID) + 8 (addr) + 64 (data) + 8 (LSN) = 96.
+const RecordSize = 96
+
+// recMagic guards against replaying garbage after a torn ring wrap.
+const recMagic uint32 = 0x55AA17C3
+
+// encode serializes r into a RecordSize-byte buffer.
+func encode(r Record, buf *[RecordSize]byte) {
+	putU32(buf[0:], recMagic)
+	buf[4] = byte(r.Type)
+	putU64(buf[8:], r.TxID)
+	putU64(buf[16:], uint64(r.Addr))
+	copy(buf[24:24+mem.LineSize], r.Data[:])
+	putU64(buf[24+mem.LineSize:], r.LSN)
+}
+
+// decode parses a RecordSize-byte buffer; ok is false when the magic is
+// absent (unwritten or torn space).
+func decode(buf *[RecordSize]byte) (r Record, ok bool) {
+	if getU32(buf[0:]) != recMagic {
+		return Record{}, false
+	}
+	r.Type = RecordType(buf[4])
+	r.TxID = getU64(buf[8:])
+	r.Addr = mem.Addr(getU64(buf[16:]))
+	copy(r.Data[:], buf[24:24+mem.LineSize])
+	r.LSN = getU64(buf[24+mem.LineSize:])
+	return r, true
+}
+
+func putU32(b []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU32(b []byte) uint32 {
+	var v uint32
+	for i := 3; i >= 0; i-- {
+		v = v<<8 | uint32(b[i])
+	}
+	return v
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// ctrlSize is the control block at the base of each ring: head and tail
+// (monotonic record sequence numbers), persisted alongside the data so
+// recovery can find the live window.
+const ctrlSize = mem.LineSize
+
+// Log is one per-core log ring.
+type Log struct {
+	store   *mem.Store
+	base    mem.Addr // control block address
+	data    mem.Addr // first record slot
+	slots   uint64   // capacity in records
+	head    uint64   // next sequence number to write
+	tail    uint64   // oldest live sequence number
+	persist bool     // NVM ring: mirror every write to the durable image
+
+	// Appends counts records written since creation (statistics).
+	Appends uint64
+}
+
+// NewLog returns a ring over [base, base+size) of the given store.
+// persist selects NVM durability semantics.
+func NewLog(store *mem.Store, base mem.Addr, size mem.Addr, persist bool) *Log {
+	if size <= ctrlSize+RecordSize {
+		panic("wal: log region too small")
+	}
+	l := &Log{
+		store:   store,
+		base:    base,
+		data:    base + ctrlSize,
+		slots:   (uint64(size) - ctrlSize) / RecordSize,
+		persist: persist,
+	}
+	l.writeCtrl()
+	return l
+}
+
+// Slots returns the ring capacity in records.
+func (l *Log) Slots() uint64 { return l.slots }
+
+// Len returns the number of live records.
+func (l *Log) Len() uint64 { return l.head - l.tail }
+
+// Head returns the next sequence number to be written.
+func (l *Log) Head() uint64 { return l.head }
+
+// Tail returns the oldest live sequence number.
+func (l *Log) Tail() uint64 { return l.tail }
+
+func (l *Log) slotAddr(seq uint64) mem.Addr {
+	return l.data + mem.Addr((seq%l.slots)*RecordSize)
+}
+
+// writeBytes copies b into simulated memory at a, persisting touched
+// lines when the ring is durable.
+func (l *Log) writeBytes(a mem.Addr, b []byte) {
+	for len(b) > 0 {
+		la := mem.LineOf(a)
+		off := mem.LineOffset(a)
+		n := mem.LineSize - off
+		if n > len(b) {
+			n = len(b)
+		}
+		line := l.store.PeekLine(la)
+		copy(line[off:off+n], b[:n])
+		l.store.WriteLine(la, &line)
+		if l.persist {
+			l.store.PersistLine(la, &line)
+		}
+		a += mem.Addr(n)
+		b = b[n:]
+	}
+}
+
+// readBytes fills b from simulated memory at a. When durable is set it
+// reads the durable image (crash recovery); otherwise the live image.
+func (l *Log) readBytes(a mem.Addr, b []byte, durable bool) {
+	for len(b) > 0 {
+		la := mem.LineOf(a)
+		off := mem.LineOffset(a)
+		n := mem.LineSize - off
+		if n > len(b) {
+			n = len(b)
+		}
+		var line mem.Line
+		if durable {
+			line = l.store.DurableLine(la)
+		} else {
+			line = l.store.PeekLine(la)
+		}
+		copy(b[:n], line[off:off+n])
+		a += mem.Addr(n)
+		b = b[n:]
+	}
+}
+
+func (l *Log) writeCtrl() {
+	var buf [16]byte
+	putU64(buf[0:], l.head)
+	putU64(buf[8:], l.tail)
+	l.writeBytes(l.base, buf[:])
+}
+
+// Append adds a record to the ring and returns its sequence number. It
+// panics when the ring is full — the paper traps to the OS to grow the
+// log area; workloads here reclaim aggressively instead, so a full ring
+// is a harness bug.
+func (l *Log) Append(r Record) uint64 {
+	if l.head-l.tail >= l.slots {
+		panic(fmt.Sprintf("wal: log ring at %#x full (%d records); reclamation fell behind", uint64(l.base), l.slots))
+	}
+	var buf [RecordSize]byte
+	encode(r, &buf)
+	seq := l.head
+	l.writeBytes(l.slotAddr(seq), buf[:])
+	l.head++
+	l.Appends++
+	l.writeCtrl()
+	return seq
+}
+
+// Reclaim advances the tail to seq (exclusive of live data at seq and
+// later), freeing ring space. Reclaiming past the head panics.
+func (l *Log) Reclaim(seq uint64) {
+	if seq > l.head {
+		panic("wal: reclaim past head")
+	}
+	if seq > l.tail {
+		l.tail = seq
+		l.writeCtrl()
+	}
+}
+
+// Read returns the record at sequence number seq from the live image.
+func (l *Log) Read(seq uint64) (Record, bool) {
+	if seq < l.tail || seq >= l.head {
+		return Record{}, false
+	}
+	var buf [RecordSize]byte
+	l.readBytes(l.slotAddr(seq), buf[:], false)
+	return decode(&buf)
+}
+
+// Records returns all live records in order, reading from the durable
+// image when durable is set (post-crash recovery) or the live image
+// otherwise. After a crash the control block itself must be read from
+// the durable image, which RecoverWindow does.
+func (l *Log) Records(durable bool) []Record {
+	head, tail := l.head, l.tail
+	if durable {
+		head, tail = l.RecoverWindow()
+	}
+	out := make([]Record, 0, head-tail)
+	for seq := tail; seq < head; seq++ {
+		var buf [RecordSize]byte
+		l.readBytes(l.slotAddr(seq), buf[:], durable)
+		if r, ok := decode(&buf); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RecoverWindow reads the durable control block and returns the live
+// window (tail, head) as of the crash. Only meaningful for persistent
+// rings.
+func (l *Log) RecoverWindow() (head, tail uint64) {
+	var buf [16]byte
+	l.readBytes(l.base, buf[:], true)
+	return getU64(buf[0:]), getU64(buf[8:])
+}
+
+// ReplayStats reports what a redo-log replay did.
+type ReplayStats struct {
+	CommittedTx   int // distinct committed transactions applied
+	AppliedLines  int // RecWrite records applied
+	DiscardedTx   int // distinct uncommitted/aborted transactions discarded
+	DiscardedRecs int // their RecWrite records
+}
+
+// Replay performs redo-log crash recovery against the store's durable
+// image: every RecWrite whose transaction has a later RecCommit mark is
+// applied (written to the live image and persisted); records of
+// transactions without a commit mark — or with an abort mark — are
+// discarded, exactly as Section IV-C describes.
+func (l *Log) Replay() ReplayStats {
+	recs := l.Records(true)
+	committed := map[uint64]bool{}
+	aborted := map[uint64]bool{}
+	for _, r := range recs {
+		switch r.Type {
+		case RecCommit:
+			committed[r.TxID] = true
+		case RecAbort:
+			aborted[r.TxID] = true
+		}
+	}
+	var st ReplayStats
+	seenDiscard := map[uint64]bool{}
+	seenApply := map[uint64]bool{}
+	for _, r := range recs {
+		if r.Type != RecWrite {
+			continue
+		}
+		if committed[r.TxID] && !aborted[r.TxID] {
+			l.store.WriteLine(r.Addr, &r.Data)
+			l.store.PersistLine(r.Addr, &r.Data)
+			st.AppliedLines++
+			if !seenApply[r.TxID] {
+				seenApply[r.TxID] = true
+				st.CommittedTx++
+			}
+		} else {
+			st.DiscardedRecs++
+			if !seenDiscard[r.TxID] {
+				seenDiscard[r.TxID] = true
+				st.DiscardedTx++
+			}
+		}
+	}
+	return st
+}
+
+// Rings partitions a log area into per-core rings.
+type Rings struct {
+	logs []*Log
+}
+
+// NewRings carves count equal rings out of [areaBase, areaBase+areaSize).
+func NewRings(store *mem.Store, areaBase, areaSize mem.Addr, count int, persist bool) *Rings {
+	per := areaSize / mem.Addr(count)
+	per &^= mem.LineSize - 1 // line-align each ring
+	rs := &Rings{}
+	for i := 0; i < count; i++ {
+		rs.logs = append(rs.logs, NewLog(store, areaBase+mem.Addr(i)*per, per, persist))
+	}
+	return rs
+}
+
+// ForCore returns core i's ring.
+func (r *Rings) ForCore(i int) *Log { return r.logs[i] }
+
+// Count returns the number of rings.
+func (r *Rings) Count() int { return len(r.logs) }
+
+// Appends totals record appends across rings.
+func (r *Rings) Appends() uint64 {
+	var n uint64
+	for _, l := range r.logs {
+		n += l.Appends
+	}
+	return n
+}
+
+// ReplayAll performs crash recovery across all cores' rings. Committed
+// transactions are applied in global commit order (the LSN on their
+// commit marks), so cross-core writes to the same line resolve to the
+// newest committed value — as they would with the paper's single
+// serialized log area.
+func (r *Rings) ReplayAll() ReplayStats {
+	type txGroup struct {
+		writes    []Record
+		commitLSN uint64
+		committed bool
+		aborted   bool
+	}
+	var store *mem.Store
+	groups := map[uint64]*txGroup{}
+	order := []uint64{} // txIDs with commit marks, to sort by LSN
+	for _, l := range r.logs {
+		store = l.store
+		for _, rec := range l.Records(true) {
+			g := groups[rec.TxID]
+			if g == nil {
+				g = &txGroup{}
+				groups[rec.TxID] = g
+			}
+			switch rec.Type {
+			case RecWrite:
+				g.writes = append(g.writes, rec)
+			case RecCommit:
+				if !g.committed {
+					g.committed = true
+					g.commitLSN = rec.LSN
+					order = append(order, rec.TxID)
+				}
+			case RecAbort:
+				g.aborted = true
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return groups[order[i]].commitLSN < groups[order[j]].commitLSN
+	})
+	var st ReplayStats
+	for _, id := range order {
+		g := groups[id]
+		if g.aborted || len(g.writes) == 0 {
+			continue
+		}
+		st.CommittedTx++
+		for _, w := range g.writes {
+			store.WriteLine(w.Addr, &w.Data)
+			store.PersistLine(w.Addr, &w.Data)
+			st.AppliedLines++
+		}
+	}
+	for id, g := range groups {
+		if (!g.committed || g.aborted) && len(g.writes) > 0 {
+			_ = id
+			st.DiscardedTx++
+			st.DiscardedRecs += len(g.writes)
+		}
+	}
+	return st
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"uhtm/internal/core"
+	"uhtm/internal/signature"
+	"uhtm/internal/stats"
+)
+
+// Ablations exercises the design choices DESIGN.md calls out, each as a
+// paired run on the same workload:
+//
+//   - requester-wins/-loses (Table II) vs age-based resolution — the
+//     livelock remedy the paper defers to future work;
+//   - the DRAM cache of the [28] substrate vs direct NVM re-reads for
+//     early-evicted persistent lines;
+//   - signature isolation on vs off at a fixed signature size (the
+//     optimization quantified standalone rather than via Fig. 6's grid);
+//   - the undo-vs-redo DRAM logging choice at one footprint (Fig. 10's
+//     mechanism in one row).
+func Ablations(scale float64) (*stats.Table, []Result) {
+	tbl := &stats.Table{Header: []string{"ablation", "variant", "tx/s", "abort-rate", "note"}}
+	var results []Result
+
+	add := func(name, variant, note string, r Result) {
+		results = append(results, r)
+		tbl.AddRow(name, variant, f2(r.Throughput()), pct(r.Stats.AbortRate()), note)
+	}
+
+	// 1. Conflict resolution policy under contention: a hot-key PMDK
+	// workload where requester policies can ping-pong.
+	contended := pmdkConfig(100)
+	contended.KeySpace = 64 // heavy same-key collisions
+	contended.Prepopulate = 64
+	contended.BatchesPerThread = scaleN(8, scale)
+	base := UHTM(signature.Bits4K, true)
+	add("resolution", "requester-wins/loses", "Table II", Run(base, BenchBTree, contended))
+	aged := base
+	aged.Name = "4k_opt+aging"
+	aged.Opts.Aging = true
+	add("resolution", "age-based (youngest aborts)", "future-work remedy", Run(aged, BenchBTree, contended))
+
+	// 2. DRAM cache vs direct NVM for early-evicted lines: an
+	// overflow-heavy durable workload re-reading its own spilled data.
+	spill := pmdkConfig(300)
+	spill.BatchesPerThread = scaleN(8, scale)
+	add("dram-cache", "enabled ([28] substrate)", "early-evicted @ DRAM speed", Run(base, BenchSkipList, spill))
+	noCache := base
+	noCache.Name = "4k_opt-nodram$"
+	noCache.Opts.NoDRAMCache = true
+	add("dram-cache", "disabled", "early-evicted @ NVM speed", Run(noCache, BenchSkipList, spill))
+
+	// 3. Signature isolation at fixed size (1k bits).
+	iso := pmdkConfig(200)
+	iso.BatchesPerThread = scaleN(8, scale)
+	add("isolation", "off (1k_sig)", "cross-domain FPs", Run(UHTM(signature.Bits1K, false), BenchBTree, iso))
+	add("isolation", "on (1k_opt)", "domain-confined", Run(UHTM(signature.Bits1K, true), BenchBTree, iso))
+
+	// 4. DRAM logging for overflowed volatile lines at one footprint.
+	vol := pmdkConfig(200)
+	vol.Persistent = false
+	vol.BatchesPerThread = scaleN(8, scale)
+	undo := UHTM(signature.Bits4K, true)
+	add("dram-log", "undo (eager)", "fast commit", Run(undo, BenchRBTree, vol))
+	redo := undo
+	redo.Name = "4k_opt_redo"
+	redo.Opts.DRAMLog = core.DRAMRedo
+	add("dram-log", "redo (lazy)", "copy-back commit", Run(redo, BenchRBTree, vol))
+
+	return tbl, results
+}

@@ -1,0 +1,646 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uhtm/internal/core"
+	"uhtm/internal/kv"
+	"uhtm/internal/mem"
+	"uhtm/internal/sim"
+	"uhtm/internal/stats"
+	"uhtm/internal/txds"
+)
+
+// Bench names a benchmark family from Table IV.
+type Bench string
+
+// The benchmark families of Table IV.
+const (
+	BenchHashMap     Bench = "HashMap"
+	BenchBTree       Bench = "B-Tree"
+	BenchRBTree      Bench = "RB-Tree"
+	BenchSkipList    Bench = "SkipList"
+	BenchEcho        Bench = "Echo"
+	BenchHybridIndex Bench = "Hybrid-Index"
+	BenchDual        Bench = "Dual"
+)
+
+// PMDKBenches lists the four micro-benchmark structures.
+func PMDKBenches() []Bench {
+	return []Bench{BenchHashMap, BenchBTree, BenchRBTree, BenchSkipList}
+}
+
+// Config parameterizes one run.
+type Config struct {
+	Seed int64
+
+	Instances          int // consolidated benchmark copies (one domain each)
+	ThreadsPerInstance int
+
+	ValueSize        int // bytes per value
+	FootprintKB      int // per-transaction write footprint
+	BatchesPerThread int // transactions per thread
+	KeySpace         int // keys per instance
+	Prepopulate      int // keys inserted before measurement
+	PrepopValueSize  int // value size used during prepopulation (0 = ValueSize)
+
+	Persistent bool // data in NVM (durable txs) vs DRAM (volatile txs)
+
+	MemApps      int      // LLC-hungry background threads (own domains)
+	MemAppWindow int      // bytes each sweeps over
+	MemAppCost   sim.Time // per-line streaming cost (bandwidth model)
+
+	// Long-running read-only transactions (Fig. 8): every LongROEvery-th
+	// operation on a thread is a read-only batch of LongROBytes instead
+	// of a put batch. Zero disables.
+	LongROEvery int
+	LongROBytes int
+
+	// Geometry overrides the Table III machine configuration when
+	// non-nil (tests use a shrunken hierarchy). Cores is always derived
+	// from the thread count.
+	Geometry *mem.Config
+}
+
+// DefaultConfig is the Figure 6 shape: four instances of four threads,
+// 1 KB values, 100 KB transactions, two memory-intensive apps.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               42,
+		Instances:          4,
+		ThreadsPerInstance: 4,
+		ValueSize:          1024,
+		FootprintKB:        100,
+		BatchesPerThread:   8,
+		KeySpace:           32 << 10, // large enough that true conflicts are rare
+		Prepopulate:        4 << 10,
+		Persistent:         true,
+		MemApps:            2,
+		MemAppWindow:       32 << 20,
+		MemAppCost:         120 * sim.Picosecond,
+	}
+}
+
+// Result carries one (system, benchmark) measurement.
+type Result struct {
+	System  string
+	Bench   Bench
+	Stats   stats.Stats
+	Elapsed sim.Time
+}
+
+// Throughput returns committed transactions per simulated second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Stats.Commits) / r.Elapsed.Seconds()
+}
+
+// opsPerBatch converts the footprint knob into puts per transaction.
+func (c Config) opsPerBatch() int {
+	n := c.FootprintKB * 1024 / c.ValueSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// arenasFor carves per-instance memory arenas: consolidated benchmarks
+// model separate processes, so their heaps must not share cache lines
+// (false line sharing across conflict domains would be both unrealistic
+// and — for two serialized slow-path transactions — unresolvable). The
+// DRAM split leaves room at the top for the memory-app sweep windows.
+func arenasFor(cfg Config) (dram, nvm []*mem.Allocator) {
+	reserve := mem.Addr(cfg.MemApps*cfg.MemAppWindow) + (64 << 20)
+	return mem.SplitRegion(mem.DRAM, cfg.Instances, reserve),
+		mem.SplitRegion(mem.NVM, cfg.Instances, 0)
+}
+
+// dataArenas returns the arena set matching cfg.Persistent.
+func dataArenas(cfg Config) []*mem.Allocator {
+	d, n := arenasFor(cfg)
+	if cfg.Persistent {
+		return n
+	}
+	return d
+}
+
+// dsKV is the common surface of the four PMDK structures.
+type dsKV interface {
+	Put(m txds.Mem, k uint64, v []byte)
+	Get(m txds.Mem, k uint64) ([]byte, bool)
+}
+
+// hashBuckets sizes a hash table so chains stay at one or two nodes —
+// the short-latency point lookup that keeps the PMDK hashmap benchmark
+// out of capacity trouble in the paper.
+func hashBuckets(keySpace int) int {
+	n := 1
+	for n < keySpace/2 {
+		n <<= 1
+	}
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+func makeDS(b Bench, setup txds.Mem, al *mem.Allocator, keySpace int) dsKV {
+	switch b {
+	case BenchHashMap:
+		return txds.NewHashMap(setup, al, hashBuckets(keySpace))
+	case BenchBTree:
+		return txds.NewBTree(setup, al)
+	case BenchRBTree:
+		return txds.NewRBTree(setup, al)
+	case BenchSkipList:
+		return txds.NewSkipList(setup, al)
+	default:
+		panic(fmt.Sprintf("workload: %s is not a PMDK structure", b))
+	}
+}
+
+// defaultGeometry returns the Table III machine configuration.
+func defaultGeometry() mem.Config { return mem.DefaultConfig() }
+
+// machineFor builds the engine+machine pair with enough cores for the
+// run.
+func machineFor(spec SystemSpec, cfg Config, extraThreads int) (*sim.Engine, *core.Machine) {
+	mc := defaultGeometry()
+	if cfg.Geometry != nil {
+		mc = *cfg.Geometry
+	}
+	mc.Cores = cfg.Instances*cfg.ThreadsPerInstance + cfg.MemApps + extraThreads
+	eng := sim.NewEngine(cfg.Seed)
+	return eng, core.NewMachine(eng, mc, spec.Opts)
+}
+
+// valueFor builds a deterministic value payload.
+func valueFor(size int, k uint64) []byte {
+	v := make([]byte, size)
+	for i := range v {
+		v[i] = byte(k + uint64(i))
+	}
+	return v
+}
+
+// spawnMemApps launches the LLC-hungry background applications: each
+// sweeps random lines of a private DRAM window non-transactionally until
+// done reports true, evicting everyone else's LLC lines along the way
+// (Section III-C's graph500 observation).
+func spawnMemApps(eng *sim.Engine, m *core.Machine, cfg Config, domainBase int, done *bool) {
+	// Windows are carved from the top of usable DRAM (just below the log
+	// area), far above the arenas the benchmarks draw from.
+	cost := cfg.MemAppCost
+	if cost <= 0 {
+		cost = 1500 * sim.Picosecond
+	}
+	for i := 0; i < cfg.MemApps; i++ {
+		app := i
+		eng.Spawn(fmt.Sprintf("memapp%d", app), func(th *sim.Thread) {
+			c := m.NewCtx(th, domainBase+app)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(1000+app)))
+			base := mem.DRAMLogBase - mem.Addr((app+1)*cfg.MemAppWindow)
+			for !*done {
+				c.PolluteLLC(base, cfg.MemAppWindow, 4096, cost, rng)
+			}
+		})
+	}
+}
+
+// prepopValue returns the value size used for prepopulation.
+func (c Config) prepopValue() int {
+	if c.PrepopValueSize > 0 {
+		return c.PrepopValueSize
+	}
+	return c.ValueSize
+}
+
+// putBatch performs one transaction of puts. HashMaps take the
+// copy-on-write path of PMDK's hashmap example: values materialize
+// outside the transaction (private until published) and only the
+// pointer splice is transactional, so hashmap transactions stay small.
+// The tree structures keep data inline (PMDK's btree/rbtree examples
+// store items in nodes), so the whole value is transactional state.
+func putBatch(c *core.Ctx, ds dsKV, keys []uint64, valueSize int) {
+	if h, ok := ds.(*txds.HashMap); ok {
+		refs := make([]mem.Addr, len(keys))
+		nt := c.NT()
+		for i, k := range keys {
+			refs[i] = txds.BuildValue(nt, h.Allocator(), valueFor(valueSize, k))
+		}
+		c.Run(func(tx *core.Tx) {
+			for i, k := range keys {
+				h.PutRef(tx, k, refs[i])
+			}
+		})
+		return
+	}
+	c.Run(func(tx *core.Tx) {
+		for _, k := range keys {
+			ds.Put(tx, k, valueFor(valueSize, k))
+		}
+	})
+}
+
+// runPMDK runs the consolidated PMDK micro-benchmark: cfg.Instances
+// copies of structure b (each its own conflict domain and key space),
+// cfg.ThreadsPerInstance threads per copy doing batched puts of
+// cfg.FootprintKB per transaction, plus memory-intensive apps.
+func runPMDK(spec SystemSpec, b Bench, cfg Config) Result {
+	eng, m := machineFor(spec, cfg, 0)
+	st := m.Store()
+	arenas := dataArenas(cfg)
+
+	// Per-instance structures, prepopulated outside the measured run.
+	dss := make([]dsKV, cfg.Instances)
+	for i := range dss {
+		dss[i] = makeDS(b, st, arenas[i], cfg.KeySpace)
+		for k := 1; k <= cfg.Prepopulate; k++ {
+			dss[i].Put(st, uint64(k), valueFor(cfg.prepopValue(), uint64(k)))
+		}
+	}
+
+	ops := cfg.opsPerBatch()
+	remaining := cfg.Instances * cfg.ThreadsPerInstance
+	done := false
+	var benchThreads []*sim.Thread
+	for inst := 0; inst < cfg.Instances; inst++ {
+		for t := 0; t < cfg.ThreadsPerInstance; t++ {
+			inst, t := inst, t
+			th := eng.Spawn(fmt.Sprintf("%s%d.%d", b, inst, t), func(th *sim.Thread) {
+				c := m.NewCtx(th, inst)
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(inst*100+t)))
+				ds := dss[inst]
+				for batch := 0; batch < cfg.BatchesPerThread; batch++ {
+					keys := make([]uint64, ops)
+					for i := range keys {
+						keys[i] = uint64(rng.Intn(cfg.KeySpace)) + 1
+					}
+					putBatch(c, ds, keys, cfg.ValueSize)
+				}
+				remaining--
+				if remaining == 0 {
+					done = true
+				}
+			})
+			benchThreads = append(benchThreads, th)
+		}
+	}
+	spawnMemApps(eng, m, cfg, cfg.Instances, &done)
+	eng.Run()
+	return collect(spec, b, m, cfg, benchThreads)
+}
+
+// collect aggregates per-domain stats over the benchmark instances and
+// measures elapsed time as the slowest benchmark thread.
+func collect(spec SystemSpec, b Bench, m *core.Machine, cfg Config, threads []*sim.Thread) Result {
+	var agg stats.Stats
+	for d := 0; d < cfg.Instances; d++ {
+		agg.Add(m.DomainStats(d))
+	}
+	var elapsed sim.Time
+	for _, th := range threads {
+		if th.Clock() > elapsed {
+			elapsed = th.Clock()
+		}
+	}
+	agg.Elapsed = elapsed
+	return Result{System: spec.Name, Bench: b, Stats: agg, Elapsed: elapsed}
+}
+
+// runEcho runs consolidated Echo instances: one master + N-1 clients per
+// instance; clients batch updates through rings, the master applies each
+// drained batch in one durable transaction.
+func runEcho(spec SystemSpec, cfg Config) Result {
+	eng, m := machineFor(spec, cfg, 0)
+	st := m.Store()
+	dArenas, nArenas := arenasFor(cfg)
+
+	ops := cfg.opsPerBatch()
+	clients := cfg.ThreadsPerInstance - 1
+	stores := make([]*kv.Echo, cfg.Instances)
+	for i := range stores {
+		stores[i] = kv.NewEcho(st, dArenas[i], nArenas[i], hashBuckets(cfg.KeySpace), clients, 4*ops, cfg.ValueSize)
+		for k := 1; k <= cfg.Prepopulate; k++ {
+			stores[i].Table.Put(st, uint64(k), valueFor(cfg.prepopValue(), uint64(k)))
+		}
+	}
+
+	remaining := cfg.Instances * cfg.ThreadsPerInstance
+	done := false
+	var benchThreads []*sim.Thread
+	for inst := 0; inst < cfg.Instances; inst++ {
+		inst := inst
+		clientsLeft := clients
+		// Clients.
+		for cl := 0; cl < clients; cl++ {
+			cl := cl
+			th := eng.Spawn(fmt.Sprintf("echo%d.c%d", inst, cl), func(th *sim.Thread) {
+				c := m.NewCtx(th, inst)
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(inst*100+cl)))
+				nt := c.NT()
+				for batch := 0; batch < cfg.BatchesPerThread; batch++ {
+					for i := 0; i < ops; i++ {
+						k := uint64(rng.Intn(cfg.KeySpace)) + 1
+						p := kv.KV{Key: k, Val: valueFor(cfg.ValueSize, k)}
+						for !stores[inst].Rings[cl].TryPush(nt, p) {
+							th.Advance(5 * sim.Microsecond)
+							th.Sync()
+						}
+					}
+				}
+				clientsLeft--
+				remaining--
+				if remaining == 0 {
+					done = true
+				}
+			})
+			benchThreads = append(benchThreads, th)
+		}
+		// Master.
+		th := eng.Spawn(fmt.Sprintf("echo%d.m", inst), func(th *sim.Thread) {
+			c := m.NewCtx(th, inst)
+			for {
+				total := 0
+				for cl := 0; cl < clients; cl++ {
+					total += stores[inst].MasterStep(c, cl, ops)
+				}
+				if total == 0 {
+					if clientsLeft == 0 && ringsEmpty(stores[inst], c) {
+						break
+					}
+					th.Advance(5 * sim.Microsecond)
+					th.Sync()
+				}
+			}
+			remaining--
+			if remaining == 0 {
+				done = true
+			}
+		})
+		benchThreads = append(benchThreads, th)
+	}
+	spawnMemApps(eng, m, cfg, cfg.Instances, &done)
+	eng.Run()
+	return collect(spec, BenchEcho, m, cfg, benchThreads)
+}
+
+func ringsEmpty(e *kv.Echo, c *core.Ctx) bool {
+	nt := c.NT()
+	for _, r := range e.Rings {
+		if r.Len(nt) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// runEchoLongRO is the Figure 8 workload: one Echo table, every thread
+// issuing single-put transactions (1 KB values), with every
+// LongROEvery-th operation replaced by a long-running read-only get
+// batch of LongROBytes.
+func runEchoLongRO(spec SystemSpec, cfg Config) Result {
+	eng, m := machineFor(spec, cfg, 0)
+	st := m.Store()
+	dal, nal := mem.NewAllocator(mem.DRAM), mem.NewAllocator(mem.NVM)
+	store := kv.NewEcho(st, dal, nal, 1<<15, 1, 8, cfg.ValueSize)
+	for k := 1; k <= cfg.Prepopulate; k++ {
+		store.Table.Put(st, uint64(k), valueFor(cfg.prepopValue(), uint64(k)))
+	}
+	roKeys := cfg.LongROBytes / cfg.ValueSize
+
+	threads := cfg.Instances * cfg.ThreadsPerInstance
+	var benchThreads []*sim.Thread
+	for t := 0; t < threads; t++ {
+		t := t
+		th := eng.Spawn(fmt.Sprintf("echoLR.%d", t), func(th *sim.Thread) {
+			c := m.NewCtx(th, 0) // one application, one domain
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)))
+			for op := 0; op < cfg.BatchesPerThread; op++ {
+				if cfg.LongROEvery > 0 && op%cfg.LongROEvery == cfg.LongROEvery-1 {
+					// A contiguous slice of the keyspace at a random
+					// offset: the read-set is exactly LongROBytes of
+					// distinct values.
+					start := rng.Intn(cfg.Prepopulate)
+					keys := make([]uint64, roKeys)
+					for i := range keys {
+						keys[i] = uint64((start+i)%cfg.Prepopulate) + 1
+					}
+					store.ReadOnlyBatch(c, keys)
+					continue
+				}
+				k := uint64(rng.Intn(cfg.KeySpace)) + 1
+				v := valueFor(cfg.ValueSize, k)
+				c.Run(func(tx *core.Tx) {
+					store.Table.Put(tx, k, v)
+				})
+			}
+		})
+		benchThreads = append(benchThreads, th)
+	}
+	eng.Run()
+	return collect(spec, BenchEcho, m, Config{Instances: 1}, benchThreads)
+}
+
+// runHybridIndex is the Figure 9a workload: consolidated Hybrid-Index
+// stores, threads inserting batches that touch the DRAM B-Tree and the
+// NVM HashMap in one transaction.
+func runHybridIndex(spec SystemSpec, cfg Config) Result {
+	eng, m := machineFor(spec, cfg, 0)
+	st := m.Store()
+	dArenas, nArenas := arenasFor(cfg)
+	stores := make([]*kv.HybridIndex, cfg.Instances)
+	for i := range stores {
+		stores[i] = kv.NewHybridIndex(st, dArenas[i], nArenas[i], hashBuckets(cfg.KeySpace), cfg.ThreadsPerInstance)
+		for _, p := range stores[i].Parts {
+			for k := 1; k <= cfg.Prepopulate; k++ {
+				p.Table.Put(st, uint64(k), valueFor(cfg.prepopValue(), uint64(k)))
+				p.Index.Put(st, uint64(k), nil)
+			}
+		}
+	}
+	ops := cfg.opsPerBatch()
+	remaining := cfg.Instances * cfg.ThreadsPerInstance
+	done := false
+	var benchThreads []*sim.Thread
+	for inst := 0; inst < cfg.Instances; inst++ {
+		for t := 0; t < cfg.ThreadsPerInstance; t++ {
+			inst, t := inst, t
+			th := eng.Spawn(fmt.Sprintf("hikv%d.%d", inst, t), func(th *sim.Thread) {
+				c := m.NewCtx(th, inst)
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(inst*100+t)))
+				for batch := 0; batch < cfg.BatchesPerThread; batch++ {
+					pairs := make([]kv.KV, ops)
+					for i := range pairs {
+						k := uint64(rng.Intn(cfg.KeySpace)) + 1
+						pairs[i] = kv.KV{Key: k, Val: valueFor(cfg.ValueSize, k)}
+					}
+					stores[inst].PutBatch(c, t, pairs)
+				}
+				remaining--
+				if remaining == 0 {
+					done = true
+				}
+			})
+			benchThreads = append(benchThreads, th)
+		}
+	}
+	spawnMemApps(eng, m, cfg, cfg.Instances, &done)
+	eng.Run()
+	return collect(spec, BenchHybridIndex, m, cfg, benchThreads)
+}
+
+// runDual is the Figure 9b workload: consolidated Dual stores, half the
+// threads serving foreground puts on the DRAM map, half draining the
+// cross-referencing log into the NVM map.
+func runDual(spec SystemSpec, cfg Config) Result {
+	eng, m := machineFor(spec, cfg, 0)
+	st := m.Store()
+	dArenas, nArenas := arenasFor(cfg)
+	ops := cfg.opsPerBatch()
+	stores := make([]*kv.Dual, cfg.Instances)
+	for i := range stores {
+		fgParts := cfg.ThreadsPerInstance / 2
+		if fgParts == 0 {
+			fgParts = 1
+		}
+		stores[i] = kv.NewDual(st, dArenas[i], nArenas[i], hashBuckets(cfg.KeySpace), fgParts, 8*ops, cfg.ValueSize)
+		for _, p := range stores[i].Parts {
+			for k := 1; k <= cfg.Prepopulate; k++ {
+				p.Front.Put(st, uint64(k), valueFor(cfg.prepopValue(), uint64(k)))
+				p.Back.Put(st, uint64(k), valueFor(cfg.prepopValue(), uint64(k)))
+			}
+		}
+	}
+	fg := cfg.ThreadsPerInstance / 2
+	if fg == 0 {
+		fg = 1
+	}
+	bg := cfg.ThreadsPerInstance - fg
+	remaining := cfg.Instances * cfg.ThreadsPerInstance
+	done := false
+	var benchThreads []*sim.Thread
+	for inst := 0; inst < cfg.Instances; inst++ {
+		inst := inst
+		fgLeft := fg
+		for t := 0; t < fg; t++ {
+			t := t
+			th := eng.Spawn(fmt.Sprintf("dual%d.f%d", inst, t), func(th *sim.Thread) {
+				c := m.NewCtx(th, inst)
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(inst*100+t)))
+				for batch := 0; batch < cfg.BatchesPerThread; batch++ {
+					pairs := make([]kv.KV, ops)
+					for i := range pairs {
+						k := uint64(rng.Intn(cfg.KeySpace)) + 1
+						pairs[i] = kv.KV{Key: k, Val: valueFor(cfg.ValueSize, k)}
+					}
+					stores[inst].FrontPut(c, t, pairs)
+				}
+				fgLeft--
+				remaining--
+				if remaining == 0 {
+					done = true
+				}
+			})
+			benchThreads = append(benchThreads, th)
+		}
+		for t := 0; t < bg; t++ {
+			t := t
+			th := eng.Spawn(fmt.Sprintf("dual%d.b%d", inst, t), func(th *sim.Thread) {
+				c := m.NewCtx(th, inst)
+				for {
+					n := stores[inst].BackendStep(c, t%fg, ops)
+					if n == 0 {
+						if fgLeft == 0 && stores[inst].Parts[t%fg].XLog.Len(c.NT()) == 0 {
+							break
+						}
+						th.Advance(5 * sim.Microsecond)
+						th.Sync()
+					}
+				}
+				remaining--
+				if remaining == 0 {
+					done = true
+				}
+			})
+			benchThreads = append(benchThreads, th)
+		}
+	}
+	spawnMemApps(eng, m, cfg, cfg.Instances, &done)
+	eng.Run()
+	return collect(spec, BenchDual, m, cfg, benchThreads)
+}
+
+// BenchMixed consolidates one instance of each PMDK structure — the
+// Figure 7 configuration ("we consolidated four benchmarks with four
+// threads").
+const BenchMixed Bench = "Mixed"
+
+// runMixed runs the consolidated mix: instance i hosts PMDK structure
+// i mod 4.
+func runMixed(spec SystemSpec, cfg Config) Result {
+	eng, m := machineFor(spec, cfg, 0)
+	st := m.Store()
+	arenas := dataArenas(cfg)
+	benches := PMDKBenches()
+	dss := make([]dsKV, cfg.Instances)
+	for i := range dss {
+		dss[i] = makeDS(benches[i%len(benches)], st, arenas[i], cfg.KeySpace)
+		for k := 1; k <= cfg.Prepopulate; k++ {
+			dss[i].Put(st, uint64(k), valueFor(cfg.prepopValue(), uint64(k)))
+		}
+	}
+	ops := cfg.opsPerBatch()
+	remaining := cfg.Instances * cfg.ThreadsPerInstance
+	done := false
+	var benchThreads []*sim.Thread
+	for inst := 0; inst < cfg.Instances; inst++ {
+		for t := 0; t < cfg.ThreadsPerInstance; t++ {
+			inst, t := inst, t
+			th := eng.Spawn(fmt.Sprintf("mix%d.%d", inst, t), func(th *sim.Thread) {
+				c := m.NewCtx(th, inst)
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(inst*100+t)))
+				ds := dss[inst]
+				for batch := 0; batch < cfg.BatchesPerThread; batch++ {
+					keys := make([]uint64, ops)
+					for i := range keys {
+						keys[i] = uint64(rng.Intn(cfg.KeySpace)) + 1
+					}
+					putBatch(c, ds, keys, cfg.ValueSize)
+				}
+				remaining--
+				if remaining == 0 {
+					done = true
+				}
+			})
+			benchThreads = append(benchThreads, th)
+		}
+	}
+	spawnMemApps(eng, m, cfg, cfg.Instances, &done)
+	eng.Run()
+	return collect(spec, BenchMixed, m, cfg, benchThreads)
+}
+
+// Run dispatches a benchmark family.
+func Run(spec SystemSpec, b Bench, cfg Config) Result {
+	switch b {
+	case BenchHashMap, BenchBTree, BenchRBTree, BenchSkipList:
+		return runPMDK(spec, b, cfg)
+	case BenchMixed:
+		return runMixed(spec, cfg)
+	case BenchEcho:
+		if cfg.LongROEvery > 0 {
+			return runEchoLongRO(spec, cfg)
+		}
+		return runEcho(spec, cfg)
+	case BenchHybridIndex:
+		return runHybridIndex(spec, cfg)
+	case BenchDual:
+		return runDual(spec, cfg)
+	default:
+		panic(fmt.Sprintf("workload: unknown benchmark %q", b))
+	}
+}

@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"fmt"
+
+	"uhtm/internal/core"
+	"uhtm/internal/signature"
+	"uhtm/internal/stats"
+)
+
+// scaleN shrinks a count by the experiment scale factor (minimum 1).
+// scale=1 reproduces the full-size run; CI and -short runs pass less.
+func scaleN(n int, scale float64) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// pmdkConfig is the PMDK/Echo figure shape: each transaction is a
+// single insert/update with a value of footprintKB ("with the value size
+// of 100KB", Section VI-A), over a keyspace small enough to prepopulate
+// but large enough that same-key collisions are rare.
+func pmdkConfig(footprintKB int) Config {
+	c := DefaultConfig()
+	c.FootprintKB = footprintKB
+	c.ValueSize = footprintKB << 10 // one put per transaction
+	// Update-dominated (the tree is prepopulated; "insert/update"
+	// benchmarks in steady state): structural rebalancing near the root
+	// is rare, so aborts come from capacity and signatures, as in the
+	// paper's decomposition.
+	c.KeySpace = 16384
+	c.Prepopulate = 16384
+	c.PrepopValueSize = 64 // values grow to footprintKB on first update
+	c.BatchesPerThread = 8
+	return c
+}
+
+// Fig2 reproduces Figure 2: throughput of the LLC-Bounded HTM against
+// the Ideal unbounded HTM, 16 threads, 100 KB transactions, consolidated
+// with memory-intensive applications. The paper reports slowdowns up to
+// 6.2×.
+func Fig2(scale float64) (*stats.Table, []Result) {
+	cfg := pmdkConfig(100)
+	cfg.BatchesPerThread = scaleN(cfg.BatchesPerThread, scale)
+	systems := []SystemSpec{LLCBounded(), Ideal()}
+	benches := append(PMDKBenches(), BenchEcho)
+
+	tbl := &stats.Table{Header: []string{"benchmark", "LLC-Bounded tx/s", "Ideal tx/s", "Ideal/Bounded"}}
+	var results []Result
+	for _, b := range benches {
+		var row [2]Result
+		for i, s := range systems {
+			row[i] = Run(s, b, cfg)
+			results = append(results, row[i])
+		}
+		ratio := 0.0
+		if row[0].Throughput() > 0 {
+			ratio = row[1].Throughput() / row[0].Throughput()
+		}
+		tbl.AddRow(string(b), f2(row[0].Throughput()), f2(row[1].Throughput()), f2(ratio))
+	}
+	return tbl, results
+}
+
+// Fig6 reproduces Figure 6: throughput of the PMDK benchmarks and Echo
+// (100 KB durable transactions, NVM data only, consolidated with two
+// memory-intensive apps), normalized to the LLC-Bounded baseline.
+func Fig6(scale float64) (*stats.Table, []Result) {
+	cfg := pmdkConfig(100)
+	cfg.BatchesPerThread = scaleN(cfg.BatchesPerThread, scale)
+	systems := Fig6Systems()
+	benches := append(PMDKBenches(), BenchEcho)
+
+	header := []string{"benchmark"}
+	for _, s := range systems {
+		header = append(header, s.Name)
+	}
+	tbl := &stats.Table{Header: header}
+	var results []Result
+	for _, b := range benches {
+		row := []string{string(b)}
+		var base float64
+		for i, s := range systems {
+			r := Run(s, b, cfg)
+			results = append(results, r)
+			if i == 0 {
+				base = r.Throughput()
+			}
+			norm := 0.0
+			if base > 0 {
+				norm = r.Throughput() / base
+			}
+			row = append(row, f2(norm))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, results
+}
+
+// Fig7 reproduces Figure 7: abort rates of UHTM (decomposed into true
+// conflicts, signature false positives and overflows) while sweeping
+// transaction footprint (100–500 KB) and signature size (512/1k/4k bits,
+// with and without the conflict-domain isolation), on the consolidated
+// PMDK mix.
+func Fig7(scale float64) (*stats.Table, []Result) {
+	footprints := []int{100, 200, 300, 400, 500}
+	systems := Fig7Systems()
+
+	tbl := &stats.Table{Header: []string{"footprintKB", "system", "abort-rate", "true", "false-pos", "lock", "overflowedTx"}}
+	var results []Result
+	for _, fp := range footprints {
+		c := pmdkConfig(fp)
+		c.BatchesPerThread = scaleN(c.BatchesPerThread, scale)
+		for _, s := range systems {
+			r := Run(s, BenchMixed, c)
+			results = append(results, r)
+			tbl.AddRow(fmt.Sprintf("%d", fp), s.Name,
+				pct(r.Stats.AbortRate()),
+				pct(r.Stats.CauseShare(stats.CauseTrueConflict)),
+				pct(r.Stats.CauseShare(stats.CauseFalsePositive)),
+				pct(r.Stats.CauseShare(stats.CauseLock)),
+				fmt.Sprintf("%d", r.Stats.Overflows))
+		}
+	}
+	return tbl, results
+}
+
+// Fig8 reproduces Figure 8: Echo throughput with 0.5 %–2 % long-running
+// read-only transactions (multi-MB get batches) among single-put (1 KB)
+// transactions, no memory-intensive apps. The paper reports UHTM at 4.2×
+// the bounded system's throughput at 0.5 %.
+func Fig8(scale float64) (*stats.Table, []Result) {
+	cfg := Config{
+		Seed:               42,
+		Instances:          1,
+		ThreadsPerInstance: 16,
+		ValueSize:          1024,
+		FootprintKB:        1, // single 1 KB put per transaction
+		BatchesPerThread:   scaleN(400, scale),
+		KeySpace:           1 << 15,
+		Prepopulate:        40960, // 40 MB of resident pairs to scan
+		Persistent:         true,
+		LongROBytes:        20 << 20, // within the paper's 8–32 MB band
+	}
+	fracs := []struct {
+		label string
+		every int
+	}{
+		{"0.5%", 200},
+		{"1.0%", 100},
+		{"2.0%", 50},
+	}
+	if scale < 0.5 {
+		// Reduced-scale runs: the sweep's cost is dominated by the
+		// multi-MB read-only transactions, so shrink the thread count
+		// and drop the middle fraction rather than the RO size (which
+		// must exceed the LLC to mean anything).
+		cfg.ThreadsPerInstance = 8
+		fracs = []struct {
+			label string
+			every int
+		}{{"0.5%", 200}, {"2.0%", 50}}
+	}
+	systems := []SystemSpec{LLCBounded(), UHTM(signature.Bits4K, true), Ideal()}
+
+	tbl := &stats.Table{Header: []string{"long-RO fraction", "system", "tx/s", "vs LLC-Bounded"}}
+	var results []Result
+	for _, fr := range fracs {
+		c := cfg
+		c.LongROEvery = fr.every
+		if c.BatchesPerThread < fr.every {
+			// Preserve the RO fraction at reduced scales: every thread
+			// must reach at least one read-only batch.
+			c.BatchesPerThread = fr.every
+		}
+		var base float64
+		for i, s := range systems {
+			r := Run(s, BenchEcho, c)
+			results = append(results, r)
+			if i == 0 {
+				base = r.Throughput()
+			}
+			rel := 0.0
+			if base > 0 {
+				rel = r.Throughput() / base
+			}
+			tbl.AddRow(fr.label, s.Name, f2(r.Throughput()), f2(rel))
+		}
+	}
+	return tbl, results
+}
+
+// fig9 runs one hybrid store across footprints and systems.
+func fig9(b Bench, footprints []int, scale float64) (*stats.Table, []Result) {
+	cfg := DefaultConfig()
+	cfg.MemApps = 0 // "we did not run LLC-hungry applications"
+	cfg.BatchesPerThread = scaleN(4, scale)
+	systems := Fig9Systems()
+
+	tbl := &stats.Table{Header: []string{"footprintKB", "system", "tx/s", "vs LLC-Bounded", "abort-rate"}}
+	var results []Result
+	for _, fp := range footprints {
+		c := cfg
+		c.FootprintKB = fp
+		var base float64
+		for i, s := range systems {
+			r := Run(s, b, c)
+			results = append(results, r)
+			if i == 0 {
+				base = r.Throughput()
+			}
+			rel := 0.0
+			if base > 0 {
+				rel = r.Throughput() / base
+			}
+			tbl.AddRow(fmt.Sprintf("%d", fp), s.Name, f2(r.Throughput()), f2(rel), pct(r.Stats.AbortRate()))
+		}
+	}
+	return tbl, results
+}
+
+// Fig9a reproduces Figure 9a: the Hybrid-Index key-value store (DRAM
+// B-Tree + NVM HashMap in one transaction) across 600 KB–1.5 MB
+// footprints and signature configurations.
+func Fig9a(scale float64) (*stats.Table, []Result) {
+	return fig9(BenchHybridIndex, []int{600, 900, 1200, 1500}, scale)
+}
+
+// Fig9b reproduces Figure 9b: the Dual key-value store (foreground DRAM
+// map + background NVM map via the cross-referencing log).
+func Fig9b(scale float64) (*stats.Table, []Result) {
+	return fig9(BenchDual, []int{600, 900, 1200, 1500}, scale)
+}
+
+// Fig10 reproduces Figure 10: volatile (all-DRAM) transactions, undo vs
+// redo logging for LLC-overflowed DRAM lines, averaged over the 512/1k/
+// 4k-bit isolated configurations, as footprint (and thus overflow rate)
+// grows. The paper reports undo ahead by 7.5 % at 300 KB rising to
+// 44.7 % at high overflow rates.
+func Fig10(scale float64) (*stats.Table, []Result) {
+	footprints := []int{100, 200, 300, 400}
+	sigs := []int{signature.Bits512, signature.Bits1K, signature.Bits4K}
+
+	tbl := &stats.Table{Header: []string{"footprintKB", "undo tx/s", "redo tx/s", "undo/redo", "overflowedTx"}}
+	var results []Result
+	for _, fp := range footprints {
+		c := pmdkConfig(fp)
+		c.Persistent = false // volatile transactions: all data in DRAM
+		c.BatchesPerThread = scaleN(c.BatchesPerThread, scale)
+		var undoSum, redoSum float64
+		var ovf uint64
+		for _, bits := range sigs {
+			for _, logKind := range []core.DRAMLogKind{core.DRAMUndo, core.DRAMRedo} {
+				s := UHTM(bits, true)
+				s.Opts.DRAMLog = logKind
+				s.Name = fmt.Sprintf("%s_%v", s.Name, logKind)
+				r := Run(s, BenchMixed, c)
+				results = append(results, r)
+				if logKind == core.DRAMUndo {
+					undoSum += r.Throughput()
+					ovf += r.Stats.Overflows
+				} else {
+					redoSum += r.Throughput()
+				}
+			}
+		}
+		undo, redo := undoSum/float64(len(sigs)), redoSum/float64(len(sigs))
+		ratio := 0.0
+		if redo > 0 {
+			ratio = undo / redo
+		}
+		tbl.AddRow(fmt.Sprintf("%d", fp), f2(undo), f2(redo), f2(ratio), fmt.Sprintf("%d", ovf))
+	}
+	return tbl, results
+}
+
+// TableIII returns the simulation configuration table.
+func TableIII() *stats.Table {
+	c := DefaultConfig()
+	_ = c
+	mc := defaultGeometry()
+	tbl := &stats.Table{Header: []string{"parameter", "value"}}
+	tbl.AddRow("Processor", fmt.Sprintf("%d-core, in-order (event-driven model)", mc.Cores))
+	tbl.AddRow("L1 I/D Cache", fmt.Sprintf("Private %dKB, %d-way", mc.L1Size>>10, mc.L1Ways))
+	tbl.AddRow("L1 Latency", mc.L1Latency.String())
+	tbl.AddRow("L2 (LLC) Cache", fmt.Sprintf("Shared %dMB, %d-way", mc.LLCSize>>20, mc.LLCWays))
+	tbl.AddRow("L2 Latency", mc.LLCLatency.String())
+	tbl.AddRow("DRAM Latency", fmt.Sprintf("Read/Write = %s", mc.DRAMLatency))
+	tbl.AddRow("NVM Latency", fmt.Sprintf("Read = %s, Write = %s", mc.NVMReadLatency, mc.NVMWriteLatency))
+	tbl.AddRow("DRAM cache", fmt.Sprintf("%dMB, %d-way (substrate [28])", mc.DRAMCacheSize>>20, mc.DRAMCacheWays))
+	return tbl
+}

@@ -1,0 +1,118 @@
+// Package workload builds the paper's evaluation (Section V/VI): the
+// compared systems, the consolidated benchmark drivers (PMDK structures,
+// Echo, the hybrid key-value stores, LLC-hungry background apps), and
+// one experiment function per figure that regenerates its rows.
+package workload
+
+import (
+	"fmt"
+
+	"uhtm/internal/core"
+	"uhtm/internal/signature"
+)
+
+// SystemSpec names one evaluated HTM configuration.
+type SystemSpec struct {
+	Name string
+	Opts core.Options
+}
+
+func baseOpts() core.Options {
+	o := core.DefaultOptions()
+	o.Paranoid = false // ground-truth validation is for unit tests
+	o.SyncEvery = 8    // coarser yields for full-size runs
+	return o
+}
+
+// LLCBounded returns the DHTM-like baseline: coherence-only detection,
+// capacity aborts at the LLC boundary, slow-path serialization.
+func LLCBounded() SystemSpec {
+	o := baseOpts()
+	o.Detect = core.DetectLLCBounded
+	return SystemSpec{Name: "LLC-Bounded", Opts: o}
+}
+
+// SignatureOnly returns the Bulk/LogTM-SE-style design: signatures
+// checked on all coherence traffic.
+func SignatureOnly(bits int) SystemSpec {
+	o := baseOpts()
+	o.Detect = core.DetectSignatureOnly
+	o.SigBits = bits
+	return SystemSpec{Name: fmt.Sprintf("SigOnly-%s", sigName(bits)), Opts: o}
+}
+
+// UHTM returns the staged design; isolation selects the conflict-domain
+// confinement optimization (the paper's xxx_sig vs xxx_opt labels).
+func UHTM(bits int, isolation bool) SystemSpec {
+	o := baseOpts()
+	o.Detect = core.DetectStaged
+	o.SigBits = bits
+	o.Isolation = isolation
+	suffix := "sig"
+	if isolation {
+		suffix = "opt"
+	}
+	return SystemSpec{Name: fmt.Sprintf("%s_%s", sigName(bits), suffix), Opts: o}
+}
+
+// Ideal returns the perfect unbounded detector (zero false positives).
+func Ideal() SystemSpec {
+	o := baseOpts()
+	o.Detect = core.DetectIdeal
+	return SystemSpec{Name: "Ideal", Opts: o}
+}
+
+func sigName(bits int) string {
+	switch bits {
+	case signature.Bits512:
+		return "512"
+	case signature.Bits1K:
+		return "1k"
+	case signature.Bits4K:
+		return "4k"
+	case signature.Bits16K:
+		return "16k"
+	default:
+		return fmt.Sprintf("%db", bits)
+	}
+}
+
+// Fig6Systems is the lineup of Figure 6: baseline, naive signatures, the
+// UHTM variants, and the ideal bound.
+func Fig6Systems() []SystemSpec {
+	return []SystemSpec{
+		LLCBounded(),
+		SignatureOnly(signature.Bits4K),
+		UHTM(signature.Bits512, false),
+		UHTM(signature.Bits512, true),
+		UHTM(signature.Bits1K, false),
+		UHTM(signature.Bits1K, true),
+		UHTM(signature.Bits4K, false),
+		UHTM(signature.Bits4K, true),
+		Ideal(),
+	}
+}
+
+// Fig7Systems is the signature-size sweep of Figure 7.
+func Fig7Systems() []SystemSpec {
+	return []SystemSpec{
+		UHTM(signature.Bits512, false),
+		UHTM(signature.Bits512, true),
+		UHTM(signature.Bits1K, false),
+		UHTM(signature.Bits1K, true),
+		UHTM(signature.Bits4K, false),
+		UHTM(signature.Bits4K, true),
+	}
+}
+
+// Fig9Systems is the lineup of Figure 9.
+func Fig9Systems() []SystemSpec {
+	return []SystemSpec{
+		LLCBounded(),
+		UHTM(signature.Bits512, false),
+		UHTM(signature.Bits512, true),
+		UHTM(signature.Bits4K, false),
+		UHTM(signature.Bits4K, true),
+		Ideal(),
+	}
+}

@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"testing"
+
+	"uhtm/internal/core"
+	"uhtm/internal/mem"
+	"uhtm/internal/signature"
+)
+
+// tinyConfig keeps unit-test runs fast: small footprints, few batches,
+// no memory apps unless a test adds them.
+func tinyConfig() Config {
+	c := DefaultConfig()
+	c.Instances = 2
+	c.ThreadsPerInstance = 2
+	c.ValueSize = 256
+	c.FootprintKB = 8
+	c.BatchesPerThread = 3
+	c.KeySpace = 256
+	c.Prepopulate = 64
+	c.MemApps = 0
+	return c
+}
+
+// paranoid turns ground-truth conflict validation back on for a spec.
+func paranoid(s SystemSpec) SystemSpec {
+	s.Opts.Paranoid = true
+	s.Opts.SyncEvery = 1
+	return s
+}
+
+func TestRunAllBenchesAllSystems(t *testing.T) {
+	cfg := tinyConfig()
+	benches := []Bench{BenchHashMap, BenchBTree, BenchRBTree, BenchSkipList, BenchMixed, BenchEcho, BenchHybridIndex, BenchDual}
+	systems := []SystemSpec{paranoid(LLCBounded()), paranoid(UHTM(signature.Bits4K, true)), paranoid(Ideal())}
+	for _, b := range benches {
+		for _, s := range systems {
+			r := Run(s, b, cfg)
+			if r.Stats.Commits == 0 {
+				t.Errorf("%s/%s: no commits (%v)", s.Name, b, r.Stats)
+			}
+			if r.Elapsed <= 0 {
+				t.Errorf("%s/%s: elapsed = %v", s.Name, b, r.Elapsed)
+			}
+		}
+	}
+}
+
+// TestSignatureOnlyRuns exercises the naive design on a small mix; it
+// completes (possibly via serialization) and commits everything.
+func TestSignatureOnlyRuns(t *testing.T) {
+	cfg := tinyConfig()
+	r := Run(paranoid(SignatureOnly(signature.Bits512)), BenchMixed, cfg)
+	wantTx := uint64(cfg.Instances * cfg.ThreadsPerInstance * cfg.BatchesPerThread)
+	if r.Stats.Commits != wantTx {
+		t.Errorf("commits = %d, want %d", r.Stats.Commits, wantTx)
+	}
+}
+
+// TestDeterministicResults: same spec+config ⇒ identical stats and
+// elapsed time.
+func TestDeterministicResults(t *testing.T) {
+	cfg := tinyConfig()
+	a := Run(UHTM(signature.Bits1K, true), BenchBTree, cfg)
+	b := Run(UHTM(signature.Bits1K, true), BenchBTree, cfg)
+	if a.Stats != b.Stats || a.Elapsed != b.Elapsed {
+		t.Errorf("non-deterministic run:\n a=%v elapsed=%v\n b=%v elapsed=%v",
+			a.Stats, a.Elapsed, b.Stats, b.Elapsed)
+	}
+}
+
+// TestMemAppsIncreasePressure: adding LLC-hungry apps must not break
+// anything and should not increase throughput.
+func TestMemAppsIncreasePressure(t *testing.T) {
+	quiet := tinyConfig()
+	noisy := quiet
+	noisy.MemApps = 1
+	noisy.MemAppWindow = 4 << 20
+	a := Run(UHTM(signature.Bits4K, true), BenchHashMap, quiet)
+	b := Run(UHTM(signature.Bits4K, true), BenchHashMap, noisy)
+	if b.Stats.Commits != a.Stats.Commits {
+		t.Errorf("commit counts differ: %d vs %d", a.Stats.Commits, b.Stats.Commits)
+	}
+	if b.Throughput() > a.Throughput()*1.05 {
+		t.Errorf("memory apps increased throughput: %.0f → %.0f", a.Throughput(), b.Throughput())
+	}
+}
+
+// TestCommittedDataSurvives: after a Run the structures hold committed
+// data — sanity that drivers actually write through the machine.
+func TestLongRODrivesOverflow(t *testing.T) {
+	geo := mem.DefaultConfig()
+	geo.LLCSize = 1 << 20 // shrink the LLC so the test stays fast
+	cfg := tinyConfig()
+	cfg.Geometry = &geo
+	cfg.Instances = 1
+	cfg.ThreadsPerInstance = 4
+	cfg.BatchesPerThread = 6
+	cfg.ValueSize = 1024
+	cfg.Prepopulate = 4096
+	cfg.KeySpace = 2048
+	cfg.LongROEvery = 3
+	cfg.LongROBytes = 2 << 20 // 2 MB read-set ≫ the 1 MB LLC
+	spec := UHTM(signature.Bits4K, true)
+	r := Run(spec, BenchEcho, cfg)
+	if r.Stats.Overflows == 0 {
+		t.Errorf("2MB read-only batches never overflowed a 1MB LLC: %v", r.Stats)
+	}
+	if r.Stats.Commits == 0 {
+		t.Error("no commits")
+	}
+}
+
+func TestOpsPerBatch(t *testing.T) {
+	c := Config{FootprintKB: 100, ValueSize: 1024}
+	if got := c.opsPerBatch(); got != 100 {
+		t.Errorf("opsPerBatch = %d", got)
+	}
+	c = Config{FootprintKB: 0, ValueSize: 1024}
+	if got := c.opsPerBatch(); got != 1 {
+		t.Errorf("opsPerBatch floor = %d", got)
+	}
+}
+
+func TestSystemNames(t *testing.T) {
+	cases := map[string]SystemSpec{
+		"LLC-Bounded": LLCBounded(),
+		"SigOnly-4k":  SignatureOnly(signature.Bits4K),
+		"512_sig":     UHTM(signature.Bits512, false),
+		"1k_opt":      UHTM(signature.Bits1K, true),
+		"Ideal":       Ideal(),
+	}
+	for want, spec := range cases {
+		if spec.Name != want {
+			t.Errorf("name = %q, want %q", spec.Name, want)
+		}
+	}
+	if len(Fig6Systems()) != 9 || len(Fig7Systems()) != 6 || len(Fig9Systems()) != 6 {
+		t.Error("system lineups changed size")
+	}
+}
+
+// TestParanoidStagedUnderContention cranks contention with paranoid
+// ground-truth checking on: any missed conflict in the staged scheme
+// panics the run.
+func TestParanoidStagedUnderContention(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Instances = 1
+	cfg.ThreadsPerInstance = 4
+	cfg.KeySpace = 32 // heavy key contention
+	cfg.BatchesPerThread = 5
+	for _, bits := range []int{signature.Bits512, signature.Bits4K} {
+		r := Run(paranoid(UHTM(bits, true)), BenchSkipList, cfg)
+		if r.Stats.Commits == 0 {
+			t.Errorf("bits=%d: no commits", bits)
+		}
+	}
+}
+
+var _ = core.DefaultOptions // keep the import if assertions above change
