@@ -4,39 +4,38 @@
 //
 // Usage:
 //
-//	uhtmsim [-scale f] [-seed n] <experiment>
+//	uhtmsim [-scale f] [-seed n] [-par n] [-json path] <experiment>
 //
 // where experiment is one of: table3, fig2, fig6, fig7, fig8, fig9a,
-// fig9b, fig10, all.
+// fig9b, fig10, ablate, all. (The authoritative list — including
+// one-line descriptions — is printed by `uhtmsim -h` straight from the
+// experiment registry; a test asserts this comment tracks it.)
+//
+// Independent simulation points of an experiment grid run concurrently,
+// up to -par engines at a time (default GOMAXPROCS); results are
+// reassembled in grid order, so the printed tables are byte-identical
+// at every -par value. -json appends one machine-readable record per
+// run (JSON Lines) with the full stats decomposition, throughput and
+// host wall time.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
-	"uhtm/internal/stats"
 	"uhtm/internal/workload"
 )
 
-var experiments = []struct {
-	name string
-	desc string
-	run  func(scale float64) (*stats.Table, []workload.Result)
-}{
-	{"fig2", "LLC-Bounded vs Ideal unbounded HTM (motivation, Fig. 2)", workload.Fig2},
-	{"fig6", "PMDK + Echo throughput, normalized to LLC-Bounded (Fig. 6)", workload.Fig6},
-	{"fig7", "Abort-rate decomposition vs footprint and signature size (Fig. 7)", workload.Fig7},
-	{"fig8", "Echo with long-running read-only transactions (Fig. 8)", workload.Fig8},
-	{"fig9a", "Hybrid-Index KV store vs footprint (Fig. 9a)", workload.Fig9a},
-	{"fig9b", "Dual KV store vs footprint (Fig. 9b)", workload.Fig9b},
-	{"fig10", "Volatile transactions: undo vs redo DRAM logging (Fig. 10)", workload.Fig10},
-	{"ablate", "Design-choice ablations (resolution policy, DRAM cache, isolation, DRAM log)", workload.Ablations},
-}
-
 func main() {
 	scale := flag.Float64("scale", 1.0, "op-count scale factor (1.0 = full-size runs)")
+	seed := flag.Int64("seed", 0, "workload RNG seed override (0 = per-experiment default)")
+	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write one JSON record per run to this file (\"-\" = stdout)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -44,6 +43,14 @@ func main() {
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
+	opt := workload.RunOptions{Scale: *scale, Seed: *seed, Par: *par}
+
+	enc, flush, err := jsonEmitter(*jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uhtmsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer flush()
 
 	if name == "table3" {
 		fmt.Println("Table III — simulation configuration")
@@ -54,14 +61,20 @@ func main() {
 		fmt.Println("Table III — simulation configuration")
 		fmt.Print(workload.TableIII().Format())
 		fmt.Println()
-		for _, e := range experiments {
-			runOne(e.name, e.desc, e.run, *scale)
+		for _, e := range workload.Experiments() {
+			if err := runOne(os.Stdout, e.Name, e.Desc, opt, enc); err != nil {
+				fmt.Fprintf(os.Stderr, "uhtmsim: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
-	for _, e := range experiments {
-		if e.name == name {
-			runOne(e.name, e.desc, e.run, *scale)
+	for _, e := range workload.Experiments() {
+		if e.Name == name {
+			if err := runOne(os.Stdout, e.Name, e.Desc, opt, enc); err != nil {
+				fmt.Fprintf(os.Stderr, "uhtmsim: %v\n", err)
+				os.Exit(1)
+			}
 			return
 		}
 	}
@@ -70,22 +83,61 @@ func main() {
 	os.Exit(2)
 }
 
-func runOne(name, desc string, fn func(float64) (*stats.Table, []workload.Result), scale float64) {
-	fmt.Printf("== %s — %s (scale=%.2f)\n", name, desc, scale)
+// jsonEmitter opens the -json sink: nil when disabled, stdout for "-",
+// else a freshly truncated file. flush finalizes the sink.
+func jsonEmitter(path string) (enc *json.Encoder, flush func(), err error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	if path == "-" {
+		return json.NewEncoder(os.Stdout), func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := bufio.NewWriter(f)
+	return json.NewEncoder(w), func() {
+		w.Flush()
+		f.Close()
+	}, nil
+}
+
+// runOne executes one experiment, prints its table plus a per-experiment
+// summary line, and emits every run's JSON record.
+func runOne(out io.Writer, name, desc string, opt workload.RunOptions, enc *json.Encoder) error {
+	fmt.Fprintf(out, "== %s — %s (scale=%.2f)\n", name, desc, opt.Scale)
 	start := time.Now()
-	tbl, _ := fn(scale)
-	fmt.Print(tbl.Format())
-	fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	tbl, results, err := workload.RunExperiment(name, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, tbl.Format())
+	var commits, aborts uint64
+	for _, r := range results {
+		commits += r.Stats.Commits
+		aborts += r.Stats.Aborts()
+	}
+	fmt.Fprintf(out, "(%s: %d runs, %d commits, %d aborts, in %v)\n\n",
+		name, len(results), commits, aborts, time.Since(start).Round(time.Millisecond))
+	if enc != nil {
+		for _, r := range results {
+			if err := enc.Encode(r); err != nil {
+				return fmt.Errorf("encoding %s record: %w", name, err)
+			}
+		}
+	}
+	return nil
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: uhtmsim [-scale f] <experiment>
+	fmt.Fprintf(os.Stderr, `usage: uhtmsim [-scale f] [-seed n] [-par n] [-json path] <experiment>
 
 experiments:
   table3   simulation configuration (Table III)
 `)
-	for _, e := range experiments {
-		fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
+	for _, e := range workload.Experiments() {
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.Name, e.Desc)
 	}
 	fmt.Fprintf(os.Stderr, "  all      everything above\n")
 	flag.PrintDefaults()

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"uhtm/internal/workload"
+)
+
+// TestDocCommentListsAllExperiments guards the doc comment against
+// drifting from the experiment registry (the bug this test was born
+// from: `ablate` existed for a full release without being documented).
+func TestDocCommentListsAllExperiments(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _, ok := strings.Cut(string(src), "package main")
+	if !ok {
+		t.Fatal("main.go has no package clause")
+	}
+	names := []string{"table3", "all"}
+	for _, e := range workload.Experiments() {
+		names = append(names, e.Name)
+	}
+	for _, n := range names {
+		if !strings.Contains(doc, n) {
+			t.Errorf("doc comment omits experiment %q — regenerate it from the registry list", n)
+		}
+	}
+	for _, f := range []string{"-scale", "-seed", "-par", "-json"} {
+		if !strings.Contains(doc, f) {
+			t.Errorf("doc comment omits flag %q", f)
+		}
+	}
+}
+
+// TestRunOneSmoke runs fig2 at tiny scale end to end through the CLI
+// path: table shape, summary line, and one valid JSON record per run.
+func TestRunOneSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig2 smoke run skipped in -short mode")
+	}
+	var out, jsonBuf bytes.Buffer
+	enc := json.NewEncoder(&jsonBuf)
+	if err := runOne(&out, "fig2", "smoke", workload.RunOptions{Scale: 0.02, Par: 4}, enc); err != nil {
+		t.Fatal(err)
+	}
+
+	text := out.String()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	// Banner, header, rule, 5 benchmark rows (4 PMDK + Echo), summary,
+	// trailing blank collapsed by TrimRight.
+	const wantRows = 5
+	if len(lines) != 3+wantRows+1 {
+		t.Fatalf("unexpected output shape (%d lines):\n%s", len(lines), text)
+	}
+	if !strings.HasPrefix(lines[1], "benchmark") || !strings.Contains(lines[1], "Ideal/Bounded") {
+		t.Errorf("missing table header: %q", lines[1])
+	}
+	summary := lines[len(lines)-1]
+	if !strings.Contains(summary, "10 runs") || !strings.Contains(summary, "commits") || !strings.Contains(summary, "aborts") {
+		t.Errorf("summary line missing runs/commits/aborts: %q", summary)
+	}
+
+	// One valid, self-describing JSON record per run.
+	var records int
+	sc := bufio.NewScanner(&jsonBuf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var r workload.Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("record %d: %v", records, err)
+		}
+		if r.Experiment != "fig2" || r.System == "" || r.Bench == "" {
+			t.Errorf("record %d underspecified: %+v", records, r)
+		}
+		if r.Stats.Commits == 0 {
+			t.Errorf("record %d: no commits", records)
+		}
+		records++
+	}
+	if records != 10 {
+		t.Errorf("got %d JSON records, want 10 (2 systems × 5 benchmarks)", records)
+	}
+}
+
+// TestUnknownExperiment: RunExperiment rejects unknown names with an
+// error (the CLI turns this into exit code 2 via its own lookup).
+func TestUnknownExperiment(t *testing.T) {
+	if _, _, err := workload.RunExperiment("fig99", workload.RunOptions{}); err == nil {
+		t.Error("RunExperiment(fig99) succeeded, want error")
+	}
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func intSpecs(n int, run func(i int) int) []Spec[int] {
+	specs := make([]Spec[int], n)
+	for i := range specs {
+		i := i
+		specs[i] = Spec[int]{Experiment: "test", Run: func() int { return run(i) }}
+	}
+	return specs
+}
+
+// TestOrderPreserved: results come back in spec order even when later
+// specs finish first.
+func TestOrderPreserved(t *testing.T) {
+	specs := intSpecs(16, func(i int) int {
+		time.Sleep(time.Duration(16-i) * time.Millisecond)
+		return i * i
+	})
+	got := Execute(specs, 8)
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("results[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestSerialAndParallelAgree: the same pure specs yield identical
+// result slices at every parallelism level.
+func TestSerialAndParallelAgree(t *testing.T) {
+	mk := func() []Spec[int] { return intSpecs(10, func(i int) int { return 3*i + 1 }) }
+	want := Execute(mk(), 1)
+	for _, par := range []int{0, 2, 4, 100} {
+		got := Execute(mk(), par)
+		if len(got) != len(want) {
+			t.Fatalf("par=%d: %d results, want %d", par, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("par=%d: results[%d] = %d, want %d", par, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestConcurrencyBound: no more than par specs are ever in flight.
+func TestConcurrencyBound(t *testing.T) {
+	const par = 3
+	var inFlight, peak atomic.Int32
+	var mu sync.Mutex
+	specs := intSpecs(20, func(i int) int {
+		n := inFlight.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return i
+	})
+	Execute(specs, par)
+	if p := peak.Load(); p > par {
+		t.Errorf("peak in-flight = %d, want <= %d", p, par)
+	}
+}
+
+// TestEmptyAndSingle: degenerate sizes.
+func TestEmptyAndSingle(t *testing.T) {
+	if got := Execute[int](nil, 4); len(got) != 0 {
+		t.Errorf("empty specs returned %d results", len(got))
+	}
+	one := intSpecs(1, func(i int) int { return 7 })
+	if got := Execute(one, 4); len(got) != 1 || got[0] != 7 {
+		t.Errorf("single spec returned %v", got)
+	}
+}

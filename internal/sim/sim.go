@@ -14,6 +14,19 @@
 //	t.Advance(lat)  // charge the action's latency to t's clock
 //
 // Actions thus occur in global virtual-time order.
+//
+// # Engines are self-contained
+//
+// An Engine and everything hanging off it (threads, the machine, the
+// store, allocators, its RNG) form one isolated world: neither this
+// package nor any simulator package below it keeps package-level
+// mutable state. Distinct engines may therefore run concurrently on
+// separate OS goroutines with no synchronization — internal/harness
+// relies on this to fan experiment grids out across cores. The
+// invariant callers must keep is the converse: a single engine is NOT
+// internally parallel (Run is single-threaded by construction and
+// asserts against reentrant use), and objects reachable from one
+// engine must never be touched from another engine's world.
 package sim
 
 import (
@@ -219,8 +232,13 @@ func (e *Engine) Halted() bool { return e.halted }
 
 // Run drives the simulation until every thread's body has returned, or
 // until a halt deadline fires. It returns the final virtual time: the
-// maximum clock reached by any thread.
+// maximum clock reached by any thread. Run is not reentrant: one engine
+// simulates one world, serially (parallelism across *engines* is safe —
+// see the package comment).
 func (e *Engine) Run() Time {
+	if e.running {
+		panic("sim: Engine.Run is not reentrant — use one engine per concurrent simulation")
+	}
 	e.running = true
 	for {
 		t := e.pick()

@@ -6,6 +6,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -122,6 +123,67 @@ func (s *Stats) Add(o *Stats) {
 	if o.Elapsed > s.Elapsed {
 		s.Elapsed = o.Elapsed
 	}
+}
+
+// statsJSON is the wire form of Stats: the abort decomposition keyed by
+// cause name rather than array position, plus the derived totals the
+// paper's figures report. Map keys are emitted sorted by encoding/json,
+// so identical Stats marshal to identical bytes.
+type statsJSON struct {
+	Commits    uint64            `json:"commits"`
+	Aborts     uint64            `json:"aborts"`
+	AbortsBy   map[string]uint64 `json:"aborts_by"`
+	AbortRate  float64           `json:"abort_rate"`
+	SlowPath   uint64            `json:"slow_path"`
+	Overflows  uint64            `json:"overflows"`
+	ReadLines  uint64            `json:"read_lines"`
+	WriteLines uint64            `json:"write_lines"`
+	SigChecks  uint64            `json:"sig_checks"`
+	ElapsedPS  int64             `json:"elapsed_ps"`
+}
+
+// MarshalJSON emits the named-cause wire form (see statsJSON).
+func (s Stats) MarshalJSON() ([]byte, error) {
+	by := make(map[string]uint64, len(s.AbortsBy))
+	for _, c := range Causes() {
+		if v := s.AbortsBy[c]; v != 0 {
+			by[c.String()] = v
+		}
+	}
+	return json.Marshal(statsJSON{
+		Commits:    s.Commits,
+		Aborts:     s.Aborts(),
+		AbortsBy:   by,
+		AbortRate:  s.AbortRate(),
+		SlowPath:   s.SlowPath,
+		Overflows:  s.Overflows,
+		ReadLines:  s.ReadLines,
+		WriteLines: s.WriteLines,
+		SigChecks:  s.SigChecks,
+		ElapsedPS:  int64(s.Elapsed),
+	})
+}
+
+// UnmarshalJSON reverses MarshalJSON; derived fields (aborts,
+// abort_rate) are recomputed from the decomposition, not trusted.
+func (s *Stats) UnmarshalJSON(b []byte) error {
+	var w statsJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*s = Stats{
+		Commits:    w.Commits,
+		SlowPath:   w.SlowPath,
+		Overflows:  w.Overflows,
+		ReadLines:  w.ReadLines,
+		WriteLines: w.WriteLines,
+		SigChecks:  w.SigChecks,
+		Elapsed:    sim.Time(w.ElapsedPS),
+	}
+	for _, c := range Causes() {
+		s.AbortsBy[c] = w.AbortsBy[c.String()]
+	}
+	return nil
 }
 
 func (s *Stats) String() string {

@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -82,6 +84,58 @@ func TestStatsString(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("String() = %q missing %q", out, frag)
 		}
+	}
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	s := Stats{
+		Commits:    40,
+		SlowPath:   2,
+		Overflows:  5,
+		ReadLines:  100,
+		WriteLines: 60,
+		SigChecks:  9,
+		Elapsed:    3 * sim.Microsecond,
+	}
+	s.AbortsBy[CauseTrueConflict] = 1
+	s.AbortsBy[CauseFalsePositive] = 7
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"commits":40`, `"aborts":8`, `"false-positive":7`, `"abort_rate":`, `"elapsed_ps":3000000`} {
+		if !strings.Contains(string(b), frag) {
+			t.Errorf("JSON %s missing %q", b, frag)
+		}
+	}
+	// Zero causes are omitted from the decomposition.
+	if strings.Contains(string(b), "capacity") {
+		t.Errorf("JSON %s includes zero-valued cause", b)
+	}
+	var back Stats
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("round-trip mismatch:\n in  %+v\n out %+v", s, back)
+	}
+}
+
+// TestStatsJSONDeterministic: identical stats marshal to identical
+// bytes — the property the -par determinism guarantee rests on.
+func TestStatsJSONDeterministic(t *testing.T) {
+	mk := func() Stats {
+		var s Stats
+		s.Commits = 11
+		s.AbortsBy[CauseLock] = 2
+		s.AbortsBy[CauseExplicit] = 3
+		s.Elapsed = sim.Millisecond
+		return s
+	}
+	a, _ := json.Marshal(mk())
+	b, _ := json.Marshal(mk())
+	if !bytes.Equal(a, b) {
+		t.Errorf("same stats marshalled differently:\n%s\n%s", a, b)
 	}
 }
 

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"uhtm/internal/core"
+	"uhtm/internal/harness"
 	"uhtm/internal/signature"
 	"uhtm/internal/stats"
 )
@@ -17,13 +18,15 @@ import (
 //     optimization quantified standalone rather than via Fig. 6's grid);
 //   - the undo-vs-redo DRAM logging choice at one footprint (Fig. 10's
 //     mechanism in one row).
-func Ablations(scale float64) (*stats.Table, []Result) {
-	tbl := &stats.Table{Header: []string{"ablation", "variant", "tx/s", "abort-rate", "note"}}
-	var results []Result
+func Ablations(scale float64) (*stats.Table, []Result) { return mustRun("ablate", scale) }
 
-	add := func(name, variant, note string, r Result) {
-		results = append(results, r)
-		tbl.AddRow(name, variant, f2(r.Throughput()), pct(r.Stats.AbortRate()), note)
+func ablationPlan(opt RunOptions) ([]harness.Spec[Result], foldFunc) {
+	type row struct{ name, variant, note string }
+	var rows []row
+	var specs []harness.Spec[Result]
+	add := func(name, variant, note string, s SystemSpec, b Bench, cfg Config) {
+		rows = append(rows, row{name, variant, note})
+		specs = append(specs, spec("ablate", s, b, opt.seeded(cfg)))
 	}
 
 	// 1. Conflict resolution policy under contention: a hot-key PMDK
@@ -31,40 +34,47 @@ func Ablations(scale float64) (*stats.Table, []Result) {
 	contended := pmdkConfig(100)
 	contended.KeySpace = 64 // heavy same-key collisions
 	contended.Prepopulate = 64
-	contended.BatchesPerThread = scaleN(8, scale)
+	contended.BatchesPerThread = scaleN(8, opt.Scale)
 	base := UHTM(signature.Bits4K, true)
-	add("resolution", "requester-wins/loses", "Table II", Run(base, BenchBTree, contended))
+	add("resolution", "requester-wins/loses", "Table II", base, BenchBTree, contended)
 	aged := base
 	aged.Name = "4k_opt+aging"
 	aged.Opts.Aging = true
-	add("resolution", "age-based (youngest aborts)", "future-work remedy", Run(aged, BenchBTree, contended))
+	add("resolution", "age-based (youngest aborts)", "future-work remedy", aged, BenchBTree, contended)
 
 	// 2. DRAM cache vs direct NVM for early-evicted lines: an
 	// overflow-heavy durable workload re-reading its own spilled data.
 	spill := pmdkConfig(300)
-	spill.BatchesPerThread = scaleN(8, scale)
-	add("dram-cache", "enabled ([28] substrate)", "early-evicted @ DRAM speed", Run(base, BenchSkipList, spill))
+	spill.BatchesPerThread = scaleN(8, opt.Scale)
+	add("dram-cache", "enabled ([28] substrate)", "early-evicted @ DRAM speed", base, BenchSkipList, spill)
 	noCache := base
 	noCache.Name = "4k_opt-nodram$"
 	noCache.Opts.NoDRAMCache = true
-	add("dram-cache", "disabled", "early-evicted @ NVM speed", Run(noCache, BenchSkipList, spill))
+	add("dram-cache", "disabled", "early-evicted @ NVM speed", noCache, BenchSkipList, spill)
 
 	// 3. Signature isolation at fixed size (1k bits).
 	iso := pmdkConfig(200)
-	iso.BatchesPerThread = scaleN(8, scale)
-	add("isolation", "off (1k_sig)", "cross-domain FPs", Run(UHTM(signature.Bits1K, false), BenchBTree, iso))
-	add("isolation", "on (1k_opt)", "domain-confined", Run(UHTM(signature.Bits1K, true), BenchBTree, iso))
+	iso.BatchesPerThread = scaleN(8, opt.Scale)
+	add("isolation", "off (1k_sig)", "cross-domain FPs", UHTM(signature.Bits1K, false), BenchBTree, iso)
+	add("isolation", "on (1k_opt)", "domain-confined", UHTM(signature.Bits1K, true), BenchBTree, iso)
 
 	// 4. DRAM logging for overflowed volatile lines at one footprint.
 	vol := pmdkConfig(200)
 	vol.Persistent = false
-	vol.BatchesPerThread = scaleN(8, scale)
+	vol.BatchesPerThread = scaleN(8, opt.Scale)
 	undo := UHTM(signature.Bits4K, true)
-	add("dram-log", "undo (eager)", "fast commit", Run(undo, BenchRBTree, vol))
+	add("dram-log", "undo (eager)", "fast commit", undo, BenchRBTree, vol)
 	redo := undo
 	redo.Name = "4k_opt_redo"
 	redo.Opts.DRAMLog = core.DRAMRedo
-	add("dram-log", "redo (lazy)", "copy-back commit", Run(redo, BenchRBTree, vol))
+	add("dram-log", "redo (lazy)", "copy-back commit", redo, BenchRBTree, vol)
 
-	return tbl, results
+	fold := func(rs []Result) *stats.Table {
+		tbl := &stats.Table{Header: []string{"ablation", "variant", "tx/s", "abort-rate", "note"}}
+		for i, r := range rs {
+			tbl.AddRow(rows[i].name, rows[i].variant, f2(r.Throughput()), pct(r.Stats.AbortRate()), rows[i].note)
+		}
+		return tbl
+	}
+	return specs, fold
 }

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"uhtm/internal/core"
 	"uhtm/internal/kv"
@@ -82,12 +83,18 @@ func DefaultConfig() Config {
 	}
 }
 
-// Result carries one (system, benchmark) measurement.
+// Result carries one (system, benchmark) measurement. Experiment and
+// Wall are filled in by the harness plan layer (see plan.go); the rest
+// by the benchmark drivers.
 type Result struct {
-	System  string
-	Bench   Bench
-	Stats   stats.Stats
-	Elapsed sim.Time
+	Experiment  string
+	System      string
+	Bench       Bench
+	FootprintKB int
+	Seed        int64
+	Stats       stats.Stats
+	Elapsed     sim.Time      // simulated wall-clock of the run
+	Wall        time.Duration // host wall-clock spent simulating
 }
 
 // Throughput returns committed transactions per simulated second.
@@ -308,7 +315,14 @@ func collect(spec SystemSpec, b Bench, m *core.Machine, cfg Config, threads []*s
 		}
 	}
 	agg.Elapsed = elapsed
-	return Result{System: spec.Name, Bench: b, Stats: agg, Elapsed: elapsed}
+	return Result{
+		System:      spec.Name,
+		Bench:       b,
+		FootprintKB: cfg.FootprintKB,
+		Seed:        cfg.Seed,
+		Stats:       agg,
+		Elapsed:     elapsed,
+	}
 }
 
 // runEcho runs consolidated Echo instances: one master + N-1 clients per
@@ -442,7 +456,9 @@ func runEchoLongRO(spec SystemSpec, cfg Config) Result {
 		benchThreads = append(benchThreads, th)
 	}
 	eng.Run()
-	return collect(spec, BenchEcho, m, Config{Instances: 1}, benchThreads)
+	ccfg := cfg
+	ccfg.Instances = 1 // one application, one conflict domain
+	return collect(spec, BenchEcho, m, ccfg, benchThreads)
 }
 
 // runHybridIndex is the Figure 9a workload: consolidated Hybrid-Index

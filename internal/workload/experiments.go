@@ -4,9 +4,18 @@ import (
 	"fmt"
 
 	"uhtm/internal/core"
+	"uhtm/internal/harness"
 	"uhtm/internal/signature"
 	"uhtm/internal/stats"
 )
+
+// Each experiment is expressed as a *plan*: a pure enumeration of the
+// (system × benchmark × footprint × seed) grid into harness specs, plus
+// a fold that rebuilds the figure's table from the results. Enumeration
+// order is the fold's contract — the harness returns results in spec
+// order no matter how many ran concurrently — so tables are identical
+// at every parallelism level. The fixed-signature FigN wrappers remain
+// for callers (benchmarks, tests) that only sweep the scale knob.
 
 // scaleN shrinks a count by the experiment scale factor (minimum 1).
 // scale=1 reproduces the full-size run; CI and -short runs pass less.
@@ -44,62 +53,81 @@ func pmdkConfig(footprintKB int) Config {
 // the Ideal unbounded HTM, 16 threads, 100 KB transactions, consolidated
 // with memory-intensive applications. The paper reports slowdowns up to
 // 6.2×.
-func Fig2(scale float64) (*stats.Table, []Result) {
+func Fig2(scale float64) (*stats.Table, []Result) { return mustRun("fig2", scale) }
+
+func fig2Plan(opt RunOptions) ([]harness.Spec[Result], foldFunc) {
 	cfg := pmdkConfig(100)
-	cfg.BatchesPerThread = scaleN(cfg.BatchesPerThread, scale)
+	cfg.BatchesPerThread = scaleN(cfg.BatchesPerThread, opt.Scale)
+	cfg = opt.seeded(cfg)
 	systems := []SystemSpec{LLCBounded(), Ideal()}
 	benches := append(PMDKBenches(), BenchEcho)
 
-	tbl := &stats.Table{Header: []string{"benchmark", "LLC-Bounded tx/s", "Ideal tx/s", "Ideal/Bounded"}}
-	var results []Result
+	var specs []harness.Spec[Result]
 	for _, b := range benches {
-		var row [2]Result
-		for i, s := range systems {
-			row[i] = Run(s, b, cfg)
-			results = append(results, row[i])
+		for _, s := range systems {
+			specs = append(specs, spec("fig2", s, b, cfg))
 		}
-		ratio := 0.0
-		if row[0].Throughput() > 0 {
-			ratio = row[1].Throughput() / row[0].Throughput()
-		}
-		tbl.AddRow(string(b), f2(row[0].Throughput()), f2(row[1].Throughput()), f2(ratio))
 	}
-	return tbl, results
+	fold := func(rs []Result) *stats.Table {
+		tbl := &stats.Table{Header: []string{"benchmark", "LLC-Bounded tx/s", "Ideal tx/s", "Ideal/Bounded"}}
+		for i, b := range benches {
+			bounded, ideal := rs[2*i], rs[2*i+1]
+			ratio := 0.0
+			if bounded.Throughput() > 0 {
+				ratio = ideal.Throughput() / bounded.Throughput()
+			}
+			tbl.AddRow(string(b), f2(bounded.Throughput()), f2(ideal.Throughput()), f2(ratio))
+		}
+		return tbl
+	}
+	return specs, fold
 }
 
 // Fig6 reproduces Figure 6: throughput of the PMDK benchmarks and Echo
 // (100 KB durable transactions, NVM data only, consolidated with two
 // memory-intensive apps), normalized to the LLC-Bounded baseline.
-func Fig6(scale float64) (*stats.Table, []Result) {
+func Fig6(scale float64) (*stats.Table, []Result) { return mustRun("fig6", scale) }
+
+func fig6Plan(opt RunOptions) ([]harness.Spec[Result], foldFunc) {
 	cfg := pmdkConfig(100)
-	cfg.BatchesPerThread = scaleN(cfg.BatchesPerThread, scale)
+	cfg.BatchesPerThread = scaleN(cfg.BatchesPerThread, opt.Scale)
+	cfg = opt.seeded(cfg)
 	systems := Fig6Systems()
 	benches := append(PMDKBenches(), BenchEcho)
 
-	header := []string{"benchmark"}
-	for _, s := range systems {
-		header = append(header, s.Name)
-	}
-	tbl := &stats.Table{Header: header}
-	var results []Result
+	var specs []harness.Spec[Result]
 	for _, b := range benches {
-		row := []string{string(b)}
-		var base float64
-		for i, s := range systems {
-			r := Run(s, b, cfg)
-			results = append(results, r)
-			if i == 0 {
-				base = r.Throughput()
-			}
-			norm := 0.0
-			if base > 0 {
-				norm = r.Throughput() / base
-			}
-			row = append(row, f2(norm))
+		for _, s := range systems {
+			specs = append(specs, spec("fig6", s, b, cfg))
 		}
-		tbl.AddRow(row...)
 	}
-	return tbl, results
+	fold := func(rs []Result) *stats.Table {
+		header := []string{"benchmark"}
+		for _, s := range systems {
+			header = append(header, s.Name)
+		}
+		tbl := &stats.Table{Header: header}
+		i := 0
+		for _, b := range benches {
+			row := []string{string(b)}
+			var base float64
+			for range systems {
+				r := rs[i]
+				i++
+				if len(row) == 1 {
+					base = r.Throughput()
+				}
+				norm := 0.0
+				if base > 0 {
+					norm = r.Throughput() / base
+				}
+				row = append(row, f2(norm))
+			}
+			tbl.AddRow(row...)
+		}
+		return tbl
+	}
+	return specs, fold
 }
 
 // Fig7 reproduces Figure 7: abort rates of UHTM (decomposed into true
@@ -107,46 +135,61 @@ func Fig6(scale float64) (*stats.Table, []Result) {
 // transaction footprint (100–500 KB) and signature size (512/1k/4k bits,
 // with and without the conflict-domain isolation), on the consolidated
 // PMDK mix.
-func Fig7(scale float64) (*stats.Table, []Result) {
+func Fig7(scale float64) (*stats.Table, []Result) { return mustRun("fig7", scale) }
+
+func fig7Plan(opt RunOptions) ([]harness.Spec[Result], foldFunc) {
 	footprints := []int{100, 200, 300, 400, 500}
 	systems := Fig7Systems()
 
-	tbl := &stats.Table{Header: []string{"footprintKB", "system", "abort-rate", "true", "false-pos", "lock", "overflowedTx"}}
-	var results []Result
+	var specs []harness.Spec[Result]
 	for _, fp := range footprints {
 		c := pmdkConfig(fp)
-		c.BatchesPerThread = scaleN(c.BatchesPerThread, scale)
+		c.BatchesPerThread = scaleN(c.BatchesPerThread, opt.Scale)
+		c = opt.seeded(c)
 		for _, s := range systems {
-			r := Run(s, BenchMixed, c)
-			results = append(results, r)
-			tbl.AddRow(fmt.Sprintf("%d", fp), s.Name,
-				pct(r.Stats.AbortRate()),
-				pct(r.Stats.CauseShare(stats.CauseTrueConflict)),
-				pct(r.Stats.CauseShare(stats.CauseFalsePositive)),
-				pct(r.Stats.CauseShare(stats.CauseLock)),
-				fmt.Sprintf("%d", r.Stats.Overflows))
+			specs = append(specs, spec("fig7", s, BenchMixed, c))
 		}
 	}
-	return tbl, results
+	fold := func(rs []Result) *stats.Table {
+		tbl := &stats.Table{Header: []string{"footprintKB", "system", "abort-rate", "true", "false-pos", "lock", "overflowedTx"}}
+		i := 0
+		for _, fp := range footprints {
+			for _, s := range systems {
+				r := rs[i]
+				i++
+				tbl.AddRow(fmt.Sprintf("%d", fp), s.Name,
+					pct(r.Stats.AbortRate()),
+					pct(r.Stats.CauseShare(stats.CauseTrueConflict)),
+					pct(r.Stats.CauseShare(stats.CauseFalsePositive)),
+					pct(r.Stats.CauseShare(stats.CauseLock)),
+					fmt.Sprintf("%d", r.Stats.Overflows))
+			}
+		}
+		return tbl
+	}
+	return specs, fold
 }
 
 // Fig8 reproduces Figure 8: Echo throughput with 0.5 %–2 % long-running
 // read-only transactions (multi-MB get batches) among single-put (1 KB)
 // transactions, no memory-intensive apps. The paper reports UHTM at 4.2×
 // the bounded system's throughput at 0.5 %.
-func Fig8(scale float64) (*stats.Table, []Result) {
+func Fig8(scale float64) (*stats.Table, []Result) { return mustRun("fig8", scale) }
+
+func fig8Plan(opt RunOptions) ([]harness.Spec[Result], foldFunc) {
 	cfg := Config{
 		Seed:               42,
 		Instances:          1,
 		ThreadsPerInstance: 16,
 		ValueSize:          1024,
 		FootprintKB:        1, // single 1 KB put per transaction
-		BatchesPerThread:   scaleN(400, scale),
+		BatchesPerThread:   scaleN(400, opt.Scale),
 		KeySpace:           1 << 15,
 		Prepopulate:        40960, // 40 MB of resident pairs to scan
 		Persistent:         true,
 		LongROBytes:        20 << 20, // within the paper's 8–32 MB band
 	}
+	cfg = opt.seeded(cfg)
 	fracs := []struct {
 		label string
 		every int
@@ -155,7 +198,7 @@ func Fig8(scale float64) (*stats.Table, []Result) {
 		{"1.0%", 100},
 		{"2.0%", 50},
 	}
-	if scale < 0.5 {
+	if opt.Scale < 0.5 {
 		// Reduced-scale runs: the sweep's cost is dominated by the
 		// multi-MB read-only transactions, so shrink the thread count
 		// and drop the middle fraction rather than the RO size (which
@@ -168,8 +211,7 @@ func Fig8(scale float64) (*stats.Table, []Result) {
 	}
 	systems := []SystemSpec{LLCBounded(), UHTM(signature.Bits4K, true), Ideal()}
 
-	tbl := &stats.Table{Header: []string{"long-RO fraction", "system", "tx/s", "vs LLC-Bounded"}}
-	var results []Result
+	var specs []harness.Spec[Result]
 	for _, fr := range fracs {
 		c := cfg
 		c.LongROEvery = fr.every
@@ -178,63 +220,87 @@ func Fig8(scale float64) (*stats.Table, []Result) {
 			// must reach at least one read-only batch.
 			c.BatchesPerThread = fr.every
 		}
-		var base float64
-		for i, s := range systems {
-			r := Run(s, BenchEcho, c)
-			results = append(results, r)
-			if i == 0 {
-				base = r.Throughput()
-			}
-			rel := 0.0
-			if base > 0 {
-				rel = r.Throughput() / base
-			}
-			tbl.AddRow(fr.label, s.Name, f2(r.Throughput()), f2(rel))
+		for _, s := range systems {
+			specs = append(specs, spec("fig8", s, BenchEcho, c))
 		}
 	}
-	return tbl, results
+	fold := func(rs []Result) *stats.Table {
+		tbl := &stats.Table{Header: []string{"long-RO fraction", "system", "tx/s", "vs LLC-Bounded"}}
+		i := 0
+		for _, fr := range fracs {
+			var base float64
+			for si, s := range systems {
+				r := rs[i]
+				i++
+				if si == 0 {
+					base = r.Throughput()
+				}
+				rel := 0.0
+				if base > 0 {
+					rel = r.Throughput() / base
+				}
+				tbl.AddRow(fr.label, s.Name, f2(r.Throughput()), f2(rel))
+			}
+		}
+		return tbl
+	}
+	return specs, fold
 }
 
-// fig9 runs one hybrid store across footprints and systems.
-func fig9(b Bench, footprints []int, scale float64) (*stats.Table, []Result) {
+// fig9Plan enumerates one hybrid store across footprints and systems.
+func fig9Plan(exp string, b Bench, footprints []int, opt RunOptions) ([]harness.Spec[Result], foldFunc) {
 	cfg := DefaultConfig()
 	cfg.MemApps = 0 // "we did not run LLC-hungry applications"
-	cfg.BatchesPerThread = scaleN(4, scale)
+	cfg.BatchesPerThread = scaleN(4, opt.Scale)
+	cfg = opt.seeded(cfg)
 	systems := Fig9Systems()
 
-	tbl := &stats.Table{Header: []string{"footprintKB", "system", "tx/s", "vs LLC-Bounded", "abort-rate"}}
-	var results []Result
+	var specs []harness.Spec[Result]
 	for _, fp := range footprints {
 		c := cfg
 		c.FootprintKB = fp
-		var base float64
-		for i, s := range systems {
-			r := Run(s, b, c)
-			results = append(results, r)
-			if i == 0 {
-				base = r.Throughput()
-			}
-			rel := 0.0
-			if base > 0 {
-				rel = r.Throughput() / base
-			}
-			tbl.AddRow(fmt.Sprintf("%d", fp), s.Name, f2(r.Throughput()), f2(rel), pct(r.Stats.AbortRate()))
+		for _, s := range systems {
+			specs = append(specs, spec(exp, s, b, c))
 		}
 	}
-	return tbl, results
+	fold := func(rs []Result) *stats.Table {
+		tbl := &stats.Table{Header: []string{"footprintKB", "system", "tx/s", "vs LLC-Bounded", "abort-rate"}}
+		i := 0
+		for _, fp := range footprints {
+			var base float64
+			for si, s := range systems {
+				r := rs[i]
+				i++
+				if si == 0 {
+					base = r.Throughput()
+				}
+				rel := 0.0
+				if base > 0 {
+					rel = r.Throughput() / base
+				}
+				tbl.AddRow(fmt.Sprintf("%d", fp), s.Name, f2(r.Throughput()), f2(rel), pct(r.Stats.AbortRate()))
+			}
+		}
+		return tbl
+	}
+	return specs, fold
 }
 
 // Fig9a reproduces Figure 9a: the Hybrid-Index key-value store (DRAM
 // B-Tree + NVM HashMap in one transaction) across 600 KB–1.5 MB
 // footprints and signature configurations.
-func Fig9a(scale float64) (*stats.Table, []Result) {
-	return fig9(BenchHybridIndex, []int{600, 900, 1200, 1500}, scale)
+func Fig9a(scale float64) (*stats.Table, []Result) { return mustRun("fig9a", scale) }
+
+func fig9aPlan(opt RunOptions) ([]harness.Spec[Result], foldFunc) {
+	return fig9Plan("fig9a", BenchHybridIndex, []int{600, 900, 1200, 1500}, opt)
 }
 
 // Fig9b reproduces Figure 9b: the Dual key-value store (foreground DRAM
 // map + background NVM map via the cross-referencing log).
-func Fig9b(scale float64) (*stats.Table, []Result) {
-	return fig9(BenchDual, []int{600, 900, 1200, 1500}, scale)
+func Fig9b(scale float64) (*stats.Table, []Result) { return mustRun("fig9b", scale) }
+
+func fig9bPlan(opt RunOptions) ([]harness.Spec[Result], foldFunc) {
+	return fig9Plan("fig9b", BenchDual, []int{600, 900, 1200, 1500}, opt)
 }
 
 // Fig10 reproduces Figure 10: volatile (all-DRAM) transactions, undo vs
@@ -242,41 +308,51 @@ func Fig9b(scale float64) (*stats.Table, []Result) {
 // 4k-bit isolated configurations, as footprint (and thus overflow rate)
 // grows. The paper reports undo ahead by 7.5 % at 300 KB rising to
 // 44.7 % at high overflow rates.
-func Fig10(scale float64) (*stats.Table, []Result) {
+func Fig10(scale float64) (*stats.Table, []Result) { return mustRun("fig10", scale) }
+
+func fig10Plan(opt RunOptions) ([]harness.Spec[Result], foldFunc) {
 	footprints := []int{100, 200, 300, 400}
 	sigs := []int{signature.Bits512, signature.Bits1K, signature.Bits4K}
+	logKinds := []core.DRAMLogKind{core.DRAMUndo, core.DRAMRedo}
 
-	tbl := &stats.Table{Header: []string{"footprintKB", "undo tx/s", "redo tx/s", "undo/redo", "overflowedTx"}}
-	var results []Result
+	var specs []harness.Spec[Result]
 	for _, fp := range footprints {
 		c := pmdkConfig(fp)
 		c.Persistent = false // volatile transactions: all data in DRAM
-		c.BatchesPerThread = scaleN(c.BatchesPerThread, scale)
-		var undoSum, redoSum float64
-		var ovf uint64
+		c.BatchesPerThread = scaleN(c.BatchesPerThread, opt.Scale)
+		c = opt.seeded(c)
 		for _, bits := range sigs {
-			for _, logKind := range []core.DRAMLogKind{core.DRAMUndo, core.DRAMRedo} {
+			for _, logKind := range logKinds {
 				s := UHTM(bits, true)
 				s.Opts.DRAMLog = logKind
 				s.Name = fmt.Sprintf("%s_%v", s.Name, logKind)
-				r := Run(s, BenchMixed, c)
-				results = append(results, r)
-				if logKind == core.DRAMUndo {
-					undoSum += r.Throughput()
-					ovf += r.Stats.Overflows
-				} else {
-					redoSum += r.Throughput()
-				}
+				specs = append(specs, spec("fig10", s, BenchMixed, c))
 			}
 		}
-		undo, redo := undoSum/float64(len(sigs)), redoSum/float64(len(sigs))
-		ratio := 0.0
-		if redo > 0 {
-			ratio = undo / redo
-		}
-		tbl.AddRow(fmt.Sprintf("%d", fp), f2(undo), f2(redo), f2(ratio), fmt.Sprintf("%d", ovf))
 	}
-	return tbl, results
+	fold := func(rs []Result) *stats.Table {
+		tbl := &stats.Table{Header: []string{"footprintKB", "undo tx/s", "redo tx/s", "undo/redo", "overflowedTx"}}
+		i := 0
+		for _, fp := range footprints {
+			var undoSum, redoSum float64
+			var ovf uint64
+			for range sigs {
+				undoR, redoR := rs[i], rs[i+1]
+				i += 2
+				undoSum += undoR.Throughput()
+				ovf += undoR.Stats.Overflows
+				redoSum += redoR.Throughput()
+			}
+			undo, redo := undoSum/float64(len(sigs)), redoSum/float64(len(sigs))
+			ratio := 0.0
+			if redo > 0 {
+				ratio = undo / redo
+			}
+			tbl.AddRow(fmt.Sprintf("%d", fp), f2(undo), f2(redo), f2(ratio), fmt.Sprintf("%d", ovf))
+		}
+		return tbl
+	}
+	return specs, fold
 }
 
 // TableIII returns the simulation configuration table.

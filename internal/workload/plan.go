@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"uhtm/internal/harness"
+	"uhtm/internal/sim"
+	"uhtm/internal/stats"
+)
+
+// RunOptions parameterizes one experiment invocation.
+type RunOptions struct {
+	// Scale multiplies per-thread op counts (1.0 = full-size run).
+	Scale float64
+	// Seed, when non-zero, overrides every run's Config.Seed (the
+	// per-experiment default is 42).
+	Seed int64
+	// Par bounds how many simulations run concurrently; 0 = GOMAXPROCS.
+	Par int
+}
+
+// seeded applies the seed override to a run config.
+func (o RunOptions) seeded(c Config) Config {
+	if o.Seed != 0 {
+		c.Seed = o.Seed
+	}
+	return c
+}
+
+// A plan enumerates an experiment as a flat spec list plus a fold that
+// rebuilds the experiment's table from the results (which arrive in
+// spec order — the harness guarantees it regardless of parallelism).
+type foldFunc func([]Result) *stats.Table
+type planFunc func(RunOptions) ([]harness.Spec[Result], foldFunc)
+
+// Experiment is one entry of the experiment registry.
+type Experiment struct {
+	Name string
+	Desc string
+	plan planFunc
+}
+
+// registry is the single source of truth for the experiment set: the
+// CLI's dispatch, usage text and doc-drift test all derive from it.
+var registry = []Experiment{
+	{"fig2", "LLC-Bounded vs Ideal unbounded HTM (motivation, Fig. 2)", fig2Plan},
+	{"fig6", "PMDK + Echo throughput, normalized to LLC-Bounded (Fig. 6)", fig6Plan},
+	{"fig7", "Abort-rate decomposition vs footprint and signature size (Fig. 7)", fig7Plan},
+	{"fig8", "Echo with long-running read-only transactions (Fig. 8)", fig8Plan},
+	{"fig9a", "Hybrid-Index KV store vs footprint (Fig. 9a)", fig9aPlan},
+	{"fig9b", "Dual KV store vs footprint (Fig. 9b)", fig9bPlan},
+	{"fig10", "Volatile transactions: undo vs redo DRAM logging (Fig. 10)", fig10Plan},
+	{"ablate", "Design-choice ablations (resolution policy, DRAM cache, isolation, DRAM log)", ablationPlan},
+}
+
+// Experiments lists the registry (name and description only).
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// RunExperiment enumerates, executes (in parallel up to opt.Par) and
+// folds one registered experiment. The returned table and results are
+// identical for every parallelism level.
+func RunExperiment(name string, opt RunOptions) (*stats.Table, []Result, error) {
+	for _, e := range registry {
+		if e.Name != name {
+			continue
+		}
+		specs, fold := e.plan(opt)
+		results := harness.Execute(specs, opt.Par)
+		return fold(results), results, nil
+	}
+	return nil, nil, fmt.Errorf("workload: unknown experiment %q", name)
+}
+
+// mustRun backs the fixed-signature experiment wrappers.
+func mustRun(name string, scale float64) (*stats.Table, []Result) {
+	tbl, rs, err := RunExperiment(name, RunOptions{Scale: scale})
+	if err != nil {
+		panic(err) // unreachable: wrappers use registered names
+	}
+	return tbl, rs
+}
+
+// spec builds one harness spec: a fresh engine per Run, identity
+// metadata mirrored into the result.
+func spec(exp string, s SystemSpec, b Bench, cfg Config) harness.Spec[Result] {
+	return harness.Spec[Result]{
+		Experiment:  exp,
+		System:      s.Name,
+		Bench:       string(b),
+		FootprintKB: cfg.FootprintKB,
+		Seed:        cfg.Seed,
+		Run: func() Result {
+			start := time.Now()
+			r := Run(s, b, cfg)
+			r.Experiment = exp
+			r.Wall = time.Since(start)
+			return r
+		},
+	}
+}
+
+// resultJSON is the wire form of Result: one self-describing record per
+// run, with derived throughput included so downstream tooling needs no
+// simulator knowledge. wall_ms is host time and is the only
+// non-deterministic field.
+type resultJSON struct {
+	Experiment   string      `json:"experiment"`
+	System       string      `json:"system"`
+	Bench        string      `json:"bench"`
+	FootprintKB  int         `json:"footprint_kb"`
+	Seed         int64       `json:"seed"`
+	Stats        stats.Stats `json:"stats"`
+	SimElapsedPS int64       `json:"sim_elapsed_ps"`
+	Throughput   float64     `json:"throughput_tx_s"`
+	WallMS       float64     `json:"wall_ms"`
+}
+
+// MarshalJSON emits the flat per-run record (see resultJSON).
+func (r Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		Experiment:   r.Experiment,
+		System:       r.System,
+		Bench:        string(r.Bench),
+		FootprintKB:  r.FootprintKB,
+		Seed:         r.Seed,
+		Stats:        r.Stats,
+		SimElapsedPS: int64(r.Elapsed),
+		Throughput:   r.Throughput(),
+		WallMS:       float64(r.Wall) / float64(time.Millisecond),
+	})
+}
+
+// UnmarshalJSON reverses MarshalJSON (derived throughput is dropped —
+// it is recomputed from commits and elapsed time).
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var w resultJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = Result{
+		Experiment:  w.Experiment,
+		System:      w.System,
+		Bench:       Bench(w.Bench),
+		FootprintKB: w.FootprintKB,
+		Seed:        w.Seed,
+		Stats:       w.Stats,
+		Elapsed:     sim.Time(w.SimElapsedPS),
+		Wall:        time.Duration(w.WallMS * float64(time.Millisecond)),
+	}
+	return nil
+}
