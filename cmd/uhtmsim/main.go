@@ -5,6 +5,7 @@
 // Usage:
 //
 //	uhtmsim [-scale f] [-seed n] [-par n] [-json path] <experiment>
+//	uhtmsim -crash [-scale f] [-seed n] [-par n] [-json path]
 //
 // where experiment is one of: table3, fig2, fig6, fig7, fig8, fig9a,
 // fig9b, fig10, ablate, all. (The authoritative list — including
@@ -17,6 +18,14 @@
 // at every -par value. -json appends one machine-readable record per
 // run (JSON Lines) with the full stats decomposition, throughput and
 // host wall time.
+//
+// -crash runs the crash-point fault-injection sweep instead of an
+// experiment (see RECOVERY.md): every injection point of a small
+// workload exhaustively plus a seeded-random sample of a large one,
+// killing the simulation mid-protocol, running recovery and verifying
+// it against a committed-prefix oracle. One JSON record is emitted per
+// injection (point, seed, verdict); the exit status is 1 if any
+// injection's recovery violated an invariant.
 package main
 
 import (
@@ -36,13 +45,13 @@ func main() {
 	seed := flag.Int64("seed", 0, "workload RNG seed override (0 = per-experiment default)")
 	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write one JSON record per run to this file (\"-\" = stdout)")
+	crashSweep := flag.Bool("crash", false, "run the crash-point fault-injection sweep instead of an experiment")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if want := 1 - b2i(*crashSweep); flag.NArg() != want {
 		usage()
 		os.Exit(2)
 	}
-	name := flag.Arg(0)
 	opt := workload.RunOptions{Scale: *scale, Seed: *seed, Par: *par}
 
 	enc, flush, err := jsonEmitter(*jsonPath)
@@ -51,6 +60,20 @@ func main() {
 		os.Exit(1)
 	}
 	defer flush()
+
+	if *crashSweep {
+		fails, err := runCrash(os.Stdout, opt, enc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uhtmsim: %v\n", err)
+			os.Exit(1)
+		}
+		if fails > 0 {
+			flush()
+			os.Exit(1)
+		}
+		return
+	}
+	name := flag.Arg(0)
 
 	if name == "table3" {
 		fmt.Println("Table III — simulation configuration")
@@ -130,8 +153,45 @@ func runOne(out io.Writer, name, desc string, opt workload.RunOptions, enc *json
 	return nil
 }
 
+// runCrash executes the crash-point fault-injection sweep (see
+// RECOVERY.md), prints the per-point table, emits every injection's
+// JSON record and returns the number of recovery-invariant failures.
+func runCrash(out io.Writer, opt workload.RunOptions, enc *json.Encoder) (int, error) {
+	fmt.Fprintf(out, "== crash — fault-injection sweep with recovery verification (scale=%.2f)\n", opt.Scale)
+	start := time.Now()
+	tbl, results, err := workload.RunCrashSweep(opt)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprint(out, tbl.Format())
+	fails := workload.CrashFailures(results)
+	fmt.Fprintf(out, "(crash: %d injections, %d failures, in %v)\n\n",
+		len(results), fails, time.Since(start).Round(time.Millisecond))
+	if enc != nil {
+		for _, r := range results {
+			if err := enc.Encode(r); err != nil {
+				return fails, fmt.Errorf("encoding crash record: %w", err)
+			}
+		}
+	}
+	for _, r := range results {
+		if r.Verdict != "ok" {
+			fmt.Fprintf(out, "FAIL %s visit %d: %s\n", r.Point, r.Visit, r.Verdict)
+		}
+	}
+	return fails, nil
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: uhtmsim [-scale f] [-seed n] [-par n] [-json path] <experiment>
+       uhtmsim -crash [-scale f] [-seed n] [-par n] [-json path]
 
 experiments:
   table3   simulation configuration (Table III)

@@ -32,7 +32,7 @@ func TestDocCommentListsAllExperiments(t *testing.T) {
 			t.Errorf("doc comment omits experiment %q — regenerate it from the registry list", n)
 		}
 	}
-	for _, f := range []string{"-scale", "-seed", "-par", "-json"} {
+	for _, f := range []string{"-scale", "-seed", "-par", "-json", "-crash"} {
 		if !strings.Contains(doc, f) {
 			t.Errorf("doc comment omits flag %q", f)
 		}
@@ -86,6 +86,48 @@ func TestRunOneSmoke(t *testing.T) {
 	}
 	if records != 10 {
 		t.Errorf("got %d JSON records, want 10 (2 systems × 5 benchmarks)", records)
+	}
+}
+
+// TestRunCrashSmoke runs the fault-injection sweep at tiny scale
+// through the CLI path: per-point table, zero failures, and one JSON
+// record per injection carrying point/visit/verdict.
+func TestRunCrashSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep smoke run skipped in -short mode")
+	}
+	var out, jsonBuf bytes.Buffer
+	enc := json.NewEncoder(&jsonBuf)
+	fails, err := runCrash(&out, workload.RunOptions{Scale: 0.05, Par: 4}, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails != 0 {
+		t.Errorf("%d recovery failures:\n%s", fails, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "TOTAL") || !strings.Contains(text, "Injection point") {
+		t.Errorf("missing per-point table:\n%s", text)
+	}
+	if !strings.Contains(text, "0 failures") {
+		t.Errorf("summary line missing failure count:\n%s", text)
+	}
+
+	var records int
+	sc := bufio.NewScanner(&jsonBuf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var r workload.Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("record %d: %v", records, err)
+		}
+		if r.Experiment != "crash" || r.Point == "" || r.Visit == 0 || r.Verdict != "ok" {
+			t.Errorf("record %d underspecified: %+v", records, r)
+		}
+		records++
+	}
+	if records == 0 || sc.Err() != nil {
+		t.Errorf("got %d JSON records (err=%v), want one per injection", records, sc.Err())
 	}
 }
 

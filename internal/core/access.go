@@ -290,8 +290,14 @@ func (m *Machine) paranoidCheck(tx *Tx, la mem.Addr, write bool) {
 			continue // already aborted, footprint dead
 		}
 		if other.writeLines.Contains(la) || (write && other.readLines.Contains(la)) {
-			panic(fmt.Sprintf("core: missed conflict on %#x between requester %v and %v (detect=%v)",
-				uint64(la), tx, other, m.opts.Detect))
+			reqID := uint64(0)
+			if tx != nil {
+				reqID = tx.id
+			}
+			panic(fmt.Sprintf("core: missed conflict on %#x between requester tx %d and tx %d (detect=%v, resident=%v, sticky=%v, otherOvf=%v, otherWsig=%v)",
+				uint64(la), reqID, other.id, m.opts.Detect,
+				m.llc.Contains(la), m.sticky[la], other.status.overflowed,
+				other.sig.Write.MayContain(la)))
 		}
 	}
 }
@@ -346,6 +352,15 @@ func (m *Machine) walk(th *sim.Thread, core int, la mem.Addr, tx *Tx, write, str
 // and L1-evicted lines of a transaction's write-set go to its overflow
 // list (Section IV-B, "locating the write-set").
 func (m *Machine) onL1Evict(core int, e cache.Eviction) {
+	// If the LLC has just chosen this same line as its own victim (still
+	// queued for drainEvictions), re-inserting it would resurrect it
+	// on-chip AFTER the drain surrenders its directory entry — leaving a
+	// resident line tracked only by an off-chip signature that resident
+	// accesses never probe: an undetectable conflict window. The drain's
+	// overflow handling owns the line now; drop the L1 writeback.
+	if m.evictionPending(e.Addr) {
+		return
+	}
 	if !m.llc.Contains(e.Addr) {
 		m.llc.Insert(e.Addr)
 	}
@@ -363,6 +378,17 @@ func (m *Machine) onL1Evict(core int, e cache.Eviction) {
 // fill completes (drainEvictions) to keep cache internals reentrant-free.
 func (m *Machine) onLLCEvict(e cache.Eviction) {
 	m.pendingEvicts = append(m.pendingEvicts, e)
+}
+
+// evictionPending reports whether la is an LLC victim queued for
+// drainEvictions — already off-chip for tracking purposes.
+func (m *Machine) evictionPending(la mem.Addr) bool {
+	for _, e := range m.pendingEvicts {
+		if e.Addr == la {
+			return true
+		}
+	}
+	return false
 }
 
 // drainEvictions processes queued LLC victims: inclusive invalidation of

@@ -59,6 +59,8 @@ func (m *Machine) begin(c *Ctx, attempt int, slow bool) *Tx {
 func (m *Machine) commit(tx *Tx) {
 	tx.th.Sync()
 	tx.checkAbortFlag()
+	m.hit(PointCommitBegin)
+	tx.committing = true
 	cfg := m.cfg
 
 	var nvmLat, dramLat int64
@@ -68,10 +70,12 @@ func (m *Machine) commit(tx *Tx) {
 		ring := m.redoRings.ForCore(tx.core)
 		for _, la := range sortedAddrs(tx.nvmWrites) {
 			img := m.store.PeekLine(la)
+			m.hit(PointCommitRecord)
 			ring.Append(walWrite(tx.id, la, img))
 			nvmLat += int64(m.lat.RedoIssue)
 		}
 		m.lsnCounter++
+		m.hit(PointCommitMark)
 		ring.Append(wal.Record{Type: wal.RecCommit, TxID: tx.id, LSN: m.lsnCounter})
 		// The log writes were issued asynchronously during execution;
 		// the critical-path wait is the commit mark reaching the ADR
@@ -80,6 +84,7 @@ func (m *Machine) commit(tx *Tx) {
 		// Flush the on-chip persistent write-set toward the DRAM cache,
 		// guided by the overflow list (one DRAM-cache access to read it
 		// when non-empty).
+		m.hit(PointCommitFlush)
 		if len(tx.overflowList) > 0 {
 			nvmLat += int64(cfg.DRAMLatency)
 		}
@@ -93,6 +98,7 @@ func (m *Machine) commit(tx *Tx) {
 	}
 
 	// --- DRAM side ---
+	m.hit(PointCommitDRAM)
 	if len(tx.overflowedDRAM) > 0 {
 		switch m.opts.DRAMLog {
 		case DRAMUndo:
@@ -114,6 +120,7 @@ func (m *Machine) commit(tx *Tx) {
 	}
 
 	// --- Cleanup ---
+	m.hit(PointCommitCleanup)
 	m.finishCommit(tx)
 }
 
@@ -125,12 +132,18 @@ func (m *Machine) finishCommit(tx *Tx) {
 	// Undo-log records of this transaction are dead; the per-core ring
 	// reclaims to its head (one live transaction per core).
 	m.undoRings.ForCore(tx.core).Reclaim(m.undoRings.ForCore(tx.core).Head())
-	m.maybeReclaimRedo(tx.core)
-	m.clearSticky()
 
+	// The write-set must be registered for in-place persistence BEFORE
+	// any reclamation may run: reclaiming first would erase this
+	// transaction's redo records while its images are still volatile —
+	// a crash then loses an acknowledged commit. (Found by the crash
+	// sweep; see RECOVERY.md.)
 	for la := range tx.nvmWrites {
 		m.pendingNVM[la] = m.store.PeekLine(la)
 	}
+	tx.committing = false
+	m.maybeReclaimRedo(tx.core)
+	m.clearSticky()
 
 	s := m.statsFor(tx.domain)
 	s.Commits++
@@ -168,9 +181,11 @@ func (m *Machine) rollback(tx *Tx) (cost sim.Time) {
 	}
 	tx.rolledBack = true
 	tx.finished = true
+	m.hit(PointAbortBegin)
 	cfg := m.cfg
 
 	cost = m.lat.PipelineFlush
+	m.hit(PointAbortUndo)
 	onChip := 0
 	for la, img := range tx.undoImages {
 		old := img
@@ -200,6 +215,7 @@ func (m *Machine) rollback(tx *Tx) (cost sim.Time) {
 	// deferred to background reclamation (Section IV-C), so only the
 	// abort mark is charged when any redo state exists.
 	if m.dcache.InvalidateTx(tx.id) > 0 || len(tx.nvmWrites) > 0 {
+		m.hit(PointAbortMark)
 		m.redoRings.ForCore(tx.core).Append(wal.Record{Type: wal.RecAbort, TxID: tx.id})
 		cost += cfg.NVMWriteLatency
 	}
@@ -213,6 +229,7 @@ func (m *Machine) rollback(tx *Tx) (cost sim.Time) {
 	if m.byCore[tx.core] == tx {
 		m.byCore[tx.core] = nil
 	}
+	m.hit(PointAbortDone)
 	return cost
 }
 
@@ -264,30 +281,66 @@ func (m *Machine) maybeReclaimRedo(core int) {
 // ring reclaims to its head. Safe at any quiescent point; a crash right
 // after it recovers from the durable in-place data alone.
 func (m *Machine) ReclaimLogs() {
+	m.hit(PointReclaimBegin)
 	m.persistPending()
+	m.hit(PointReclaimDrain)
 	m.dcache.DrainAll()
+	// Truncation must defer while any core is mid-commit: such a
+	// transaction's durability rests solely on its log records (its
+	// write-set is not yet registered in pendingNVM), so its mark must
+	// survive — and a checkpoint covering it would filter it at replay.
+	// (Found by the crash sweep; see RECOVERY.md.)
+	for _, t := range m.byCore {
+		if t != nil && t.committing {
+			return
+		}
+	}
+	// Durably advance the checkpoint BEFORE truncating any ring. Ring
+	// truncations are per-core durable updates and cannot be atomic as a
+	// group: a crash between them would otherwise leave stale committed
+	// records on the surviving rings, and replaying those would regress
+	// lines past newer commits whose records were already truncated.
+	// With the checkpoint durable first, recovery ignores every commit
+	// record at or below it — all such data is persisted in place by the
+	// persistPending above. (Found by the crash sweep; see RECOVERY.md.)
+	m.hit(PointReclaimCkpt)
+	m.setCheckpoint(m.lsnCounter)
+	m.hit(PointReclaimRings)
 	for i := 0; i < m.redoRings.Count(); i++ {
 		r := m.redoRings.ForCore(i)
 		r.Reclaim(r.Head())
 	}
 }
 
+// setCheckpoint durably records lsn as the redo-log truncation point —
+// a single-line (hence crash-atomic) durable update.
+func (m *Machine) setCheckpoint(lsn uint64) {
+	m.store.WriteU64(m.ckptAddr, lsn)
+	l := m.store.PeekLine(m.ckptAddr)
+	m.store.PersistLine(m.ckptAddr, &l)
+}
+
 // persistPending force-drains the committed image of every NVM line
-// still ahead of its in-place durable update.
+// still ahead of its in-place durable update. Addresses are walked in
+// sorted order so a crash at the k-th image always tears the same
+// prefix — the crash sweep's replays stay bit-reproducible.
 func (m *Machine) persistPending() {
-	for la, img := range m.pendingNVM {
-		l := img
+	for _, la := range sortedAddrs2(m.pendingNVM) {
+		l := m.pendingNVM[la]
+		m.hit(PointReclaimImage)
 		m.store.PersistLine(la, &l)
 		delete(m.pendingNVM, la)
 	}
 }
 
 // Recover performs post-crash recovery (Section IV-C): it replays the
-// committed redo records of every core's NVM log onto the durable image.
-// DRAM contents and the undo logs are gone; the programmer keeps
-// recovery-relevant structures in NVM.
+// committed redo records of every core's NVM log onto the durable image,
+// ignoring records already covered by the durable checkpoint (their data
+// is persisted in place; see ReclaimLogs). DRAM contents and the undo
+// logs are gone; the programmer keeps recovery-relevant structures in
+// NVM. Call after Crash, so the checkpoint read sees the durable image.
 func (m *Machine) Recover() wal.ReplayStats {
-	return m.redoRings.ReplayAll()
+	return m.redoRings.ReplayAll(m.store.ReadU64(m.ckptAddr))
 }
 
 // Crash simulates a power failure on the machine's store and resets the
@@ -317,6 +370,16 @@ func (m *Machine) DrainToNVM() {
 // sortedAddrs returns the keys of a line set in ascending order for
 // deterministic log layouts.
 func sortedAddrs(s map[mem.Addr]struct{}) []mem.Addr {
+	out := make([]mem.Addr, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedAddrs2 is sortedAddrs for line-image maps.
+func sortedAddrs2(s map[mem.Addr]mem.Line) []mem.Addr {
 	out := make([]mem.Addr, 0, len(s))
 	for a := range s {
 		out = append(out, a)

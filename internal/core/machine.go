@@ -203,6 +203,13 @@ type Machine struct {
 	undoRings *wal.Rings // DRAM log area, per core
 	redoRings *wal.Rings // NVM log area, per core
 
+	// ckptAddr is the durable checkpoint cell: the first line of the NVM
+	// log area, holding the LSN up to which redo records have been
+	// truncated. Recovery ignores commit records at or below it — they
+	// describe data already persisted in place, and replaying a stale
+	// survivor would regress a line past a newer truncated commit.
+	ckptAddr mem.Addr
+
 	txCounter  uint64
 	lsnCounter uint64 // global commit sequence (log-serialization order)
 	tss        map[uint64]*txStatus
@@ -238,6 +245,12 @@ type Machine struct {
 	// before dropping redo records, so the durable update can never pick
 	// up a newer *uncommitted* in-place write.
 	pendingNVM map[mem.Addr]mem.Line
+
+	// crashpoint, when set, fires at every named step of the commit,
+	// abort and reclamation protocols (the Point* constants in this
+	// package, wal and mem). Installed by SetCrashpoint; used by the
+	// crash framework (internal/crash) to kill the machine mid-protocol.
+	crashpoint func(point string)
 
 	// syncCount drives the SyncEvery yield granularity, per core.
 	syncCount []int
@@ -288,9 +301,72 @@ func NewMachine(eng *sim.Engine, cfg mem.Config, opts Options) *Machine {
 	}
 	m.dcache = dramcache.New(cfg.DRAMCacheSize, cfg.DRAMCacheWays)
 	m.undoRings = wal.NewRings(m.store, mem.DRAMLogBase, mem.LogAreaSize, cfg.Cores, false)
-	m.redoRings = wal.NewRings(m.store, mem.NVMLogBase, mem.LogAreaSize, cfg.Cores, true)
+	// The first NVM log-area line is the checkpoint cell (see ckptAddr);
+	// the redo rings share the rest.
+	m.ckptAddr = mem.NVMLogBase
+	m.redoRings = wal.NewRings(m.store, mem.NVMLogBase+mem.LineSize, mem.LogAreaSize-mem.LineSize, cfg.Cores, true)
 	return m
 }
+
+// Injection points fired by the Machine's protocol code, in protocol
+// order. Between any two consecutive points one or more durability or
+// bookkeeping steps execute; crashing at every point (plus the
+// finer-grained wal.* and mem.* points those steps fire internally)
+// therefore covers every reachable mid-protocol durable state. The
+// naming scheme is <package>.<protocol>.<step>; see RECOVERY.md.
+const (
+	PointCommitBegin   = "core.commit.begin"   // protocol entered, nothing written
+	PointCommitRecord  = "core.commit.record"  // before each redo RecWrite append
+	PointCommitMark    = "core.commit.mark"    // before the RecCommit append (the durability point)
+	PointCommitFlush   = "core.commit.flush"   // mark durable; before the write-set flush to the DRAM cache
+	PointCommitDRAM    = "core.commit.dram"    // before the DRAM-side (undo/redo log) commit
+	PointCommitCleanup = "core.commit.cleanup" // before volatile-state retirement (finishCommit)
+	PointAbortBegin    = "core.abort.begin"    // rollback entered
+	PointAbortUndo     = "core.abort.undo"     // before pre-images are restored
+	PointAbortMark     = "core.abort.mark"     // before the RecAbort append
+	PointAbortDone     = "core.abort.done"     // rollback complete
+	PointReclaimBegin  = "core.reclaim.begin"  // reclamation pass entered
+	PointReclaimImage  = "core.reclaim.image"  // before each pending in-place image persists
+	PointReclaimDrain  = "core.reclaim.drain"  // before the DRAM cache drains
+	PointReclaimCkpt   = "core.reclaim.ckpt"   // images durable; before the checkpoint LSN persists
+	PointReclaimRings  = "core.reclaim.rings"  // checkpoint durable; before the rings truncate
+)
+
+// SetCrashpoint installs (or, with nil, removes) the crash-injection
+// hook on the machine, its store, and both log-ring sets. The hook runs
+// synchronously on the simulated thread executing the protocol step and
+// may halt the engine (sim.Engine.HaltNow) to model a power failure at
+// exactly that step; it must not mutate simulator state.
+func (m *Machine) SetCrashpoint(f func(point string)) {
+	m.crashpoint = f
+	m.store.SetCrashpoint(f)
+	m.undoRings.SetCrashpoint(f)
+	m.redoRings.SetCrashpoint(f)
+}
+
+// hit fires one machine-level injection point.
+func (m *Machine) hit(point string) {
+	if m.crashpoint != nil {
+		m.crashpoint(point)
+	}
+}
+
+// DurableRedoRecords returns every validated record inside the durable
+// recovery window of every core's redo ring — the evidence recovery
+// would act on after a crash at this instant. Checkers use it to build
+// the committed-prefix oracle independently of Replay.
+func (m *Machine) DurableRedoRecords() []wal.Record {
+	var out []wal.Record
+	for i := 0; i < m.redoRings.Count(); i++ {
+		out = append(out, m.redoRings.ForCore(i).Records(true)...)
+	}
+	return out
+}
+
+// Checkpoint returns the redo-log truncation LSN as seen by the live
+// image. After Crash() the live image is the durable one, so this is
+// the value recovery acts on.
+func (m *Machine) Checkpoint() uint64 { return m.store.ReadU64(m.ckptAddr) }
 
 // Store exposes the simulated memory (workload setup, checkers).
 func (m *Machine) Store() *mem.Store { return m.store }

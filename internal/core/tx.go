@@ -52,6 +52,12 @@ type Tx struct {
 	slowPath   bool
 	rolledBack bool // victim-abort already performed rollback
 	finished   bool
+	// committing is set while the commit protocol is between its first
+	// redo-log append and the registration of the write-set in
+	// pendingNVM: in that window the transaction's durability rests
+	// solely on its log records, so ReclaimLogs must not reclaim its
+	// core's ring.
+	committing bool
 }
 
 // txAbort is the unwind signal for an aborting transaction.

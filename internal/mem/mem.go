@@ -138,10 +138,29 @@ type Store struct {
 	live    map[Addr]*Line
 	durable map[Addr]*Line // NVM lines only
 
+	// crashpoint, when set, is invoked with the injection-point name
+	// immediately before each durability transition (see PointPersistLine
+	// and RECOVERY.md). The crash framework arms it to kill the
+	// simulation between any two durable line updates, modeling a power
+	// failure that tears a multi-line structure (e.g. a log record)
+	// mid-write.
+	crashpoint func(point string)
+
 	// Access counters, by kind, for bandwidth-style reporting.
 	DRAMReads, DRAMWrites uint64
 	NVMReads, NVMWrites   uint64
 }
+
+// PointPersistLine is the injection point fired before every durable
+// line update (one PersistLine call). Crashing on the k-th visit leaves
+// exactly the first k-1 persisted lines durable.
+const PointPersistLine = "mem.persist.line"
+
+// SetCrashpoint installs (or, with nil, removes) the crash-injection
+// hook. The hook runs synchronously on the simulated thread performing
+// the persist and may abort the simulation (sim.Engine.HaltNow); it must
+// not touch store state.
+func (s *Store) SetCrashpoint(f func(point string)) { s.crashpoint = f }
 
 // NewStore returns an empty store (all bytes zero) for the given config.
 func NewStore(cfg Config) *Store {
@@ -264,6 +283,9 @@ func (s *Store) PersistLine(a Addr, src *Line) {
 	if KindOf(a) != NVM {
 		panic("mem: PersistLine on DRAM address")
 	}
+	if s.crashpoint != nil {
+		s.crashpoint(PointPersistLine)
+	}
 	la := LineOf(a)
 	l := s.durable[la]
 	if l == nil {
@@ -315,6 +337,17 @@ func (s *Store) Crash() {
 func (s *Store) SnapshotLive() map[Addr]Line {
 	out := make(map[Addr]Line, len(s.live))
 	for a, l := range s.live {
+		out[a] = *l
+	}
+	return out
+}
+
+// SnapshotDurable returns a deep copy of the durable NVM image, for
+// checkers (the crash framework's committed-prefix oracle compares it
+// against an independently computed expectation).
+func (s *Store) SnapshotDurable() map[Addr]Line {
+	out := make(map[Addr]Line, len(s.durable))
+	for a, l := range s.durable {
 		out[a] = *l
 	}
 	return out

@@ -227,6 +227,20 @@ func (e *Engine) Threads() []*Thread { return e.threads }
 // scheduler would dispatch a thread at or beyond virtual time at.
 func (e *Engine) HaltAt(at Time) { e.haltAt = at }
 
+// HaltNow halts the engine immediately from within the currently running
+// thread — an injected power failure at an exact protocol point, in
+// contrast to HaltAt's time-based stop at a dispatch boundary. It
+// unwinds the calling thread via the halt signal (so no simulator state
+// past the call site is mutated); Run then unwinds every other live
+// thread and returns. Must be called from simulated-thread context.
+func (e *Engine) HaltNow() {
+	if !e.running {
+		panic("sim: HaltNow outside Run")
+	}
+	e.halted = true
+	panic(haltSignal{})
+}
+
 // Halted reports whether the engine stopped before all threads finished.
 func (e *Engine) Halted() bool { return e.halted }
 
@@ -251,6 +265,11 @@ func (e *Engine) Run() Time {
 		}
 		e.now = t.clock
 		e.dispatch(t)
+		if e.halted {
+			// The dispatched thread called HaltNow: unwind the rest.
+			e.halt()
+			break
+		}
 	}
 	e.running = false
 	for _, t := range e.threads {

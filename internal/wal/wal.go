@@ -63,11 +63,34 @@ type Record struct {
 }
 
 // RecordSize is the on-"disk" footprint of an encoded record:
-// 8 (type+magic) + 8 (txID) + 8 (addr) + 64 (data) + 8 (LSN) = 96.
-const RecordSize = 96
+// 8 (type+magic) + 8 (txID) + 8 (addr) + 64 (data) + 8 (LSN) +
+// 8 (checksum) = 104. Records span cache-line boundaries, so a power
+// failure can persist some of a record's lines and not others; the
+// trailing checksum makes every such torn write detectable at replay.
+const RecordSize = 104
+
+// payloadSize is the checksummed prefix of a record.
+const payloadSize = RecordSize - 8
 
 // recMagic guards against replaying garbage after a torn ring wrap.
 const recMagic uint32 = 0x55AA17C3
+
+// checksum is FNV-1a over the record payload. A memory controller would
+// use ECC-grade CRC; any whole-buffer hash gives the property recovery
+// needs — a record assembled from lines of two different writes (torn)
+// or never fully written (truncated) fails verification.
+func checksum(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
 
 // encode serializes r into a RecordSize-byte buffer.
 func encode(r Record, buf *[RecordSize]byte) {
@@ -77,12 +100,19 @@ func encode(r Record, buf *[RecordSize]byte) {
 	putU64(buf[16:], uint64(r.Addr))
 	copy(buf[24:24+mem.LineSize], r.Data[:])
 	putU64(buf[24+mem.LineSize:], r.LSN)
+	putU64(buf[payloadSize:], checksum(buf[:payloadSize]))
 }
 
 // decode parses a RecordSize-byte buffer; ok is false when the magic is
-// absent (unwritten or torn space).
+// absent (unwritten space) or the checksum does not match the payload
+// (a torn or truncated write — some but not all of the record's cache
+// lines reached durability, or the slot holds a stale mix of two ring
+// generations).
 func decode(buf *[RecordSize]byte) (r Record, ok bool) {
 	if getU32(buf[0:]) != recMagic {
+		return Record{}, false
+	}
+	if getU64(buf[payloadSize:]) != checksum(buf[:payloadSize]) {
 		return Record{}, false
 	}
 	r.Type = RecordType(buf[4])
@@ -136,9 +166,49 @@ type Log struct {
 	tail    uint64   // oldest live sequence number
 	persist bool     // NVM ring: mirror every write to the durable image
 
+	// hook, when set, fires at the ring's named injection points (see
+	// the Point* constants); the crash framework uses it to kill the
+	// simulation between any two protocol steps.
+	hook func(point string)
+
 	// Appends counts records written since creation (statistics).
 	Appends uint64
 }
+
+// Injection-point suffixes fired by a Log. The full point name is the
+// suffix prefixed with "wal.redo." (persistent/NVM ring) or "wal.undo."
+// (volatile/DRAM ring), so a crash sweep distinguishes failures in the
+// durability-critical redo path from harmless volatile-ring ones.
+const (
+	// PointAppendRecord fires before the record's bytes are written
+	// (crash here: the append never happened).
+	PointAppendRecord = "append.record"
+	// PointAppendCtrl fires after the record's bytes are written but
+	// before the control block advances head (crash here: the record is
+	// durable but outside the recovery window — invisible, which is safe
+	// because the commit is not yet acknowledged).
+	PointAppendCtrl = "append.ctrl"
+	// PointReclaimCtrl fires before the control block advances tail
+	// (crash here: reclaimed records are still inside the window and
+	// will be re-applied — replay must be idempotent).
+	PointReclaimCtrl = "reclaim.ctrl"
+)
+
+func (l *Log) kind() string {
+	if l.persist {
+		return "wal.redo."
+	}
+	return "wal.undo."
+}
+
+func (l *Log) hit(suffix string) {
+	if l.hook != nil {
+		l.hook(l.kind() + suffix)
+	}
+}
+
+// SetCrashpoint installs (or removes) the ring's crash-injection hook.
+func (l *Log) SetCrashpoint(f func(point string)) { l.hook = f }
 
 // NewLog returns a ring over [base, base+size) of the given store.
 // persist selects NVM durability semantics.
@@ -234,9 +304,11 @@ func (l *Log) Append(r Record) uint64 {
 	var buf [RecordSize]byte
 	encode(r, &buf)
 	seq := l.head
+	l.hit(PointAppendRecord)
 	l.writeBytes(l.slotAddr(seq), buf[:])
 	l.head++
 	l.Appends++
+	l.hit(PointAppendCtrl)
 	l.writeCtrl()
 	return seq
 }
@@ -248,6 +320,7 @@ func (l *Log) Reclaim(seq uint64) {
 		panic("wal: reclaim past head")
 	}
 	if seq > l.tail {
+		l.hit(PointReclaimCtrl)
 		l.tail = seq
 		l.writeCtrl()
 	}
@@ -266,21 +339,31 @@ func (l *Log) Read(seq uint64) (Record, bool) {
 // Records returns all live records in order, reading from the durable
 // image when durable is set (post-crash recovery) or the live image
 // otherwise. After a crash the control block itself must be read from
-// the durable image, which RecoverWindow does.
+// the durable image, which RecoverWindow does. Torn or corrupt records
+// are skipped; use records to also learn how many.
 func (l *Log) Records(durable bool) []Record {
+	out, _ := l.records(durable)
+	return out
+}
+
+// records is Records plus a count of slots inside the window whose
+// contents failed validation (torn/truncated/corrupt writes).
+func (l *Log) records(durable bool) (out []Record, torn int) {
 	head, tail := l.head, l.tail
 	if durable {
 		head, tail = l.RecoverWindow()
 	}
-	out := make([]Record, 0, head-tail)
+	out = make([]Record, 0, head-tail)
 	for seq := tail; seq < head; seq++ {
 		var buf [RecordSize]byte
 		l.readBytes(l.slotAddr(seq), buf[:], durable)
 		if r, ok := decode(&buf); ok {
 			out = append(out, r)
+		} else {
+			torn++
 		}
 	}
-	return out
+	return out, torn
 }
 
 // RecoverWindow reads the durable control block and returns the live
@@ -298,6 +381,9 @@ type ReplayStats struct {
 	AppliedLines  int // RecWrite records applied
 	DiscardedTx   int // distinct uncommitted/aborted transactions discarded
 	DiscardedRecs int // their RecWrite records
+	TornRecs      int // in-window slots skipped (torn/corrupt writes)
+	StaleTx       int // committed transactions below the checkpoint, skipped
+	StaleRecs     int // their RecWrite records
 }
 
 // Replay performs redo-log crash recovery against the store's durable
@@ -306,7 +392,7 @@ type ReplayStats struct {
 // transactions without a commit mark — or with an abort mark — are
 // discarded, exactly as Section IV-C describes.
 func (l *Log) Replay() ReplayStats {
-	recs := l.Records(true)
+	recs, torn := l.records(true)
 	committed := map[uint64]bool{}
 	aborted := map[uint64]bool{}
 	for _, r := range recs {
@@ -318,6 +404,7 @@ func (l *Log) Replay() ReplayStats {
 		}
 	}
 	var st ReplayStats
+	st.TornRecs = torn
 	seenDiscard := map[uint64]bool{}
 	seenApply := map[uint64]bool{}
 	for _, r := range recs {
@@ -362,6 +449,14 @@ func NewRings(store *mem.Store, areaBase, areaSize mem.Addr, count int, persist 
 // ForCore returns core i's ring.
 func (r *Rings) ForCore(i int) *Log { return r.logs[i] }
 
+// SetCrashpoint installs (or removes) the crash-injection hook on every
+// ring.
+func (r *Rings) SetCrashpoint(f func(point string)) {
+	for _, l := range r.logs {
+		l.SetCrashpoint(f)
+	}
+}
+
 // Count returns the number of rings.
 func (r *Rings) Count() int { return len(r.logs) }
 
@@ -379,7 +474,14 @@ func (r *Rings) Appends() uint64 {
 // commit marks), so cross-core writes to the same line resolve to the
 // newest committed value — as they would with the paper's single
 // serialized log area.
-func (r *Rings) ReplayAll() ReplayStats {
+//
+// Commit records with LSN at or below ckpt are stale truncation
+// leftovers: their data is already persisted in place, and ring
+// truncation is not atomic across cores, so a crash mid-truncation can
+// leave them on some rings while newer commits' records are gone.
+// Applying one would regress its lines, so they are skipped (counted as
+// StaleTx/StaleRecs).
+func (r *Rings) ReplayAll(ckpt uint64) ReplayStats {
 	type txGroup struct {
 		writes    []Record
 		commitLSN uint64
@@ -389,9 +491,12 @@ func (r *Rings) ReplayAll() ReplayStats {
 	var store *mem.Store
 	groups := map[uint64]*txGroup{}
 	order := []uint64{} // txIDs with commit marks, to sort by LSN
+	torn := 0
 	for _, l := range r.logs {
 		store = l.store
-		for _, rec := range l.Records(true) {
+		recs, t := l.records(true)
+		torn += t
+		for _, rec := range recs {
 			g := groups[rec.TxID]
 			if g == nil {
 				g = &txGroup{}
@@ -415,8 +520,14 @@ func (r *Rings) ReplayAll() ReplayStats {
 		return groups[order[i]].commitLSN < groups[order[j]].commitLSN
 	})
 	var st ReplayStats
+	st.TornRecs = torn
 	for _, id := range order {
 		g := groups[id]
+		if g.committed && g.commitLSN <= ckpt {
+			st.StaleTx++
+			st.StaleRecs += len(g.writes)
+			continue
+		}
 		if g.aborted || len(g.writes) == 0 {
 			continue
 		}

@@ -162,6 +162,104 @@ func TestReplayDiscardsAborted(t *testing.T) {
 	}
 }
 
+// corruptDurable flips one durable byte at a — the footprint of a torn
+// write where one of a record's cache lines holds stale data.
+func corruptDurable(s *mem.Store, a mem.Addr) {
+	la := mem.LineOf(a)
+	line := s.DurableLine(la)
+	line[mem.LineOffset(a)] ^= 0xFF
+	s.PersistLine(la, &line)
+}
+
+// TestReplaySkipsCorruptRecord: a record whose durable bytes were torn
+// must fail its checksum and be skipped (counted in TornRecs), while
+// intact records on the same ring still replay. Without the checksum,
+// replay would write tx 2's corrupted line image straight into data
+// NVM.
+func TestReplaySkipsCorruptRecord(t *testing.T) {
+	s := newStore()
+	l := NewLog(s, mem.NVMLogBase, 1<<20, true)
+	a1, a2 := mem.NVMBase+0x100*64, mem.NVMBase+0x200*64
+	l.Append(Record{Type: RecWrite, TxID: 1, Addr: a1, Data: lineWith(0x11)})
+	l.Append(Record{Type: RecCommit, TxID: 1, LSN: 1})
+	seq := l.Append(Record{Type: RecWrite, TxID: 2, Addr: a2, Data: lineWith(0x22)})
+	l.Append(Record{Type: RecCommit, TxID: 2, LSN: 2})
+	corruptDurable(s, l.slotAddr(seq)+24) // inside tx 2's line image
+	s.Crash()
+
+	st := l.Replay()
+	if st.TornRecs != 1 {
+		t.Errorf("TornRecs = %d, want 1", st.TornRecs)
+	}
+	if st.CommittedTx != 1 || st.AppliedLines != 1 {
+		t.Errorf("replay stats = %+v", st)
+	}
+	if got := s.DurableLine(a1); got != lineWith(0x11) {
+		t.Error("intact committed record not recovered")
+	}
+	if got := s.DurableLine(a2); got != (mem.Line{}) {
+		t.Error("torn record's line image leaked into recovered state")
+	}
+}
+
+// TestReplaySkipsTruncatedTrailingRecord: appends persist a record line
+// by line, so a power cut mid-append can leave a prefix of the record
+// durable. Model the cut after the first line: the truncated trailing
+// record must fail validation and be skipped, with no effect on earlier
+// records.
+func TestReplaySkipsTruncatedTrailingRecord(t *testing.T) {
+	s := newStore()
+	l := NewLog(s, mem.NVMLogBase, 1<<20, true)
+	a1, a2 := mem.NVMBase+0x100*64, mem.NVMBase+0x200*64
+	l.Append(Record{Type: RecWrite, TxID: 1, Addr: a1, Data: lineWith(0x11)})
+	l.Append(Record{Type: RecCommit, TxID: 1, LSN: 1})
+	seq := l.Append(Record{Type: RecWrite, TxID: 2, Addr: a2, Data: lineWith(0x22)})
+	start := l.slotAddr(seq)
+	// Zero every durable line of the record after its first — those
+	// writes "never reached" NVM. (Later slots are unwritten, so the
+	// zeroed lines hold only this record's bytes.)
+	var zero mem.Line
+	for a := mem.LineOf(start) + mem.LineSize; a < start+RecordSize; a += mem.LineSize {
+		s.PersistLine(a, &zero)
+	}
+	s.Crash()
+
+	st := l.Replay()
+	if st.TornRecs != 1 {
+		t.Errorf("TornRecs = %d, want 1", st.TornRecs)
+	}
+	if st.CommittedTx != 1 || st.AppliedLines != 1 || st.DiscardedRecs != 0 {
+		t.Errorf("replay stats = %+v", st)
+	}
+	if got := s.DurableLine(a2); got != (mem.Line{}) {
+		t.Error("truncated record's line image leaked into recovered state")
+	}
+}
+
+// TestReplayAllCountsTorn: the cross-ring replay path reports torn
+// slots too, and a torn commit mark demotes its transaction to
+// uncommitted (its writes are discarded, not applied).
+func TestReplayAllCountsTorn(t *testing.T) {
+	s := newStore()
+	rs := NewRings(s, mem.NVMLogBase, mem.LogAreaSize, 2, true)
+	a := mem.NVMBase + 64
+	rs.ForCore(0).Append(Record{Type: RecWrite, TxID: 1, Addr: a, Data: lineWith(0x11)})
+	seq := rs.ForCore(0).Append(Record{Type: RecCommit, TxID: 1, LSN: 1})
+	corruptDurable(s, rs.ForCore(0).slotAddr(seq))
+	s.Crash()
+
+	st := rs.ReplayAll(0)
+	if st.TornRecs != 1 {
+		t.Errorf("TornRecs = %d, want 1", st.TornRecs)
+	}
+	if st.CommittedTx != 0 || st.DiscardedTx != 1 {
+		t.Errorf("replay stats = %+v", st)
+	}
+	if got := s.DurableLine(a); got != (mem.Line{}) {
+		t.Error("write with torn commit mark was applied")
+	}
+}
+
 // TestUndoRingNotDurable checks DRAM undo-log records do not survive a
 // crash — the durable window after crash must be empty or garbage.
 func TestUndoRingNotDurable(t *testing.T) {
@@ -196,13 +294,15 @@ func TestRings(t *testing.T) {
 	}
 	for i := 0; i < 16; i++ {
 		rs.ForCore(i).Append(Record{Type: RecWrite, TxID: uint64(i), Addr: mem.NVMBase + mem.Addr(i*64), Data: lineWith(byte(i))})
-		rs.ForCore(i).Append(Record{Type: RecCommit, TxID: uint64(i)})
+		// LSNs start at 1: LSN 0 would sit at the initial checkpoint and
+		// be skipped as a stale truncation leftover.
+		rs.ForCore(i).Append(Record{Type: RecCommit, TxID: uint64(i), LSN: uint64(i + 1)})
 	}
 	if rs.Appends() != 32 {
 		t.Errorf("Appends = %d", rs.Appends())
 	}
 	s.Crash()
-	st := rs.ReplayAll()
+	st := rs.ReplayAll(0)
 	if st.CommittedTx != 16 || st.AppliedLines != 16 {
 		t.Errorf("ReplayAll = %+v", st)
 	}
@@ -224,7 +324,7 @@ func TestReplayAllCrossRingOrder(t *testing.T) {
 	rs.ForCore(0).Append(Record{Type: RecWrite, TxID: 2, Addr: a, Data: lineWith(0x22)})
 	rs.ForCore(0).Append(Record{Type: RecCommit, TxID: 2, LSN: 2})
 	s.Crash()
-	st := rs.ReplayAll()
+	st := rs.ReplayAll(0)
 	if st.CommittedTx != 2 {
 		t.Fatalf("replay stats = %+v", st)
 	}

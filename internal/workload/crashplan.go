@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"uhtm/internal/crash"
+	"uhtm/internal/harness"
+	"uhtm/internal/stats"
+)
+
+// crashSamplesFullScale is the seeded-random sample size drawn from the
+// large workload's injection list at Scale = 1.0 (scaled linearly, with
+// a small floor so even smoke runs inject a few large-workload crashes).
+const crashSamplesFullScale = 96
+
+// RunCrashSweep executes the crash-point fault-injection sweep: every
+// (point, visit) pair of the small workload exhaustively, plus a
+// seeded-random sample of the large workload's pairs, each as an
+// independent deterministic simulation fanned out across the harness
+// worker pool. The returned results carry one record per injection
+// (Point/Visit/Verdict populated) in a stable order; the table folds
+// them per injection point.
+func RunCrashSweep(opt RunOptions) (*stats.Table, []Result, error) {
+	type job struct {
+		w   crash.Workload
+		inj crash.Injection
+	}
+	var jobs []job
+
+	small := crash.SmallWorkload()
+	large := crash.LargeWorkload()
+	if opt.Seed != 0 {
+		small.Seed = opt.Seed
+		large.Seed = opt.Seed
+	}
+
+	smallInjs, _, err := crash.Enumerate(small)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, inj := range smallInjs {
+		jobs = append(jobs, job{small, inj})
+	}
+
+	largeInjs, _, err := crash.Enumerate(large)
+	if err != nil {
+		return nil, nil, err
+	}
+	scale := opt.Scale
+	if scale <= 0 {
+		scale = 1.0
+	}
+	n := int(math.Ceil(crashSamplesFullScale * scale))
+	if n < 4 {
+		n = 4
+	}
+	for _, inj := range crash.Sample(largeInjs, n, large.Seed) {
+		jobs = append(jobs, job{large, inj})
+	}
+
+	specs := make([]harness.Spec[Result], len(jobs))
+	for i, j := range jobs {
+		j := j
+		specs[i] = harness.Spec[Result]{
+			Experiment: "crash",
+			System:     j.w.Name,
+			Bench:      j.inj.Point,
+			Seed:       j.w.Seed,
+			Run: func() Result {
+				start := time.Now()
+				o := crash.RunInjection(j.w, j.inj)
+				return Result{
+					Experiment: "crash",
+					System:     o.Workload,
+					Bench:      Bench(o.Point),
+					Seed:       o.Seed,
+					Stats:      o.Stats,
+					Elapsed:    o.Elapsed,
+					Wall:       time.Since(start),
+					Point:      o.Point,
+					Visit:      o.Visit,
+					Verdict:    o.Verdict,
+				}
+			},
+		}
+	}
+	results := harness.Execute(specs, opt.Par)
+	return foldCrash(results), results, nil
+}
+
+// foldCrash tabulates injections and failures per point.
+func foldCrash(rs []Result) *stats.Table {
+	type agg struct{ n, fail int }
+	per := map[string]*agg{}
+	for _, r := range rs {
+		a := per[r.Point]
+		if a == nil {
+			a = &agg{}
+			per[r.Point] = a
+		}
+		a.n++
+		if r.Verdict != "ok" {
+			a.fail++
+		}
+	}
+	points := make([]string, 0, len(per))
+	for p := range per {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	tbl := &stats.Table{Header: []string{"Injection point", "Injections", "Failures"}}
+	total, fails := 0, 0
+	for _, p := range points {
+		a := per[p]
+		tbl.AddRow(p, fmt.Sprintf("%d", a.n), fmt.Sprintf("%d", a.fail))
+		total += a.n
+		fails += a.fail
+	}
+	tbl.AddRow("TOTAL", fmt.Sprintf("%d", total), fmt.Sprintf("%d", fails))
+	return tbl
+}
+
+// CrashFailures counts results whose recovery verdict is not "ok".
+func CrashFailures(rs []Result) int {
+	n := 0
+	for _, r := range rs {
+		if r.Verdict != "ok" {
+			n++
+		}
+	}
+	return n
+}

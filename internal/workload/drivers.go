@@ -95,6 +95,13 @@ type Result struct {
 	Stats       stats.Stats
 	Elapsed     sim.Time      // simulated wall-clock of the run
 	Wall        time.Duration // host wall-clock spent simulating
+
+	// Crash-sweep runs only (see RunCrashSweep): the injected crash
+	// point, its 1-based visit index, and the recovery verdict ("ok" or
+	// "fail: <violated invariant>"). Empty for experiment runs.
+	Point   string
+	Visit   int
+	Verdict string
 }
 
 // Throughput returns committed transactions per simulated second.

@@ -119,6 +119,11 @@ type resultJSON struct {
 	SimElapsedPS int64       `json:"sim_elapsed_ps"`
 	Throughput   float64     `json:"throughput_tx_s"`
 	WallMS       float64     `json:"wall_ms"`
+
+	// Crash-sweep records only.
+	Point   string `json:"point,omitempty"`
+	Visit   int    `json:"visit,omitempty"`
+	Verdict string `json:"verdict,omitempty"`
 }
 
 // MarshalJSON emits the flat per-run record (see resultJSON).
@@ -133,6 +138,9 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		SimElapsedPS: int64(r.Elapsed),
 		Throughput:   r.Throughput(),
 		WallMS:       float64(r.Wall) / float64(time.Millisecond),
+		Point:        r.Point,
+		Visit:        r.Visit,
+		Verdict:      r.Verdict,
 	})
 }
 
@@ -152,6 +160,9 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		Stats:       w.Stats,
 		Elapsed:     sim.Time(w.SimElapsedPS),
 		Wall:        time.Duration(w.WallMS * float64(time.Millisecond)),
+		Point:       w.Point,
+		Visit:       w.Visit,
+		Verdict:     w.Verdict,
 	}
 	return nil
 }
