@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	uhtmsim [-scale f] [-seed n] [-par n] [-json path] <experiment>
+//	uhtmsim [-scale f] [-seed n] [-par n] [-json path] [-trace path] <experiment>
 //	uhtmsim -crash [-scale f] [-seed n] [-par n] [-json path]
+//	uhtmsim trace-summary <trace.json>
 //
 // where experiment is one of: table3, fig2, fig6, fig7, fig8, fig9a,
 // fig9b, fig10, ablate, all. (The authoritative list — including
@@ -17,7 +18,23 @@
 // reassembled in grid order, so the printed tables are byte-identical
 // at every -par value. -json appends one machine-readable record per
 // run (JSON Lines) with the full stats decomposition, throughput and
-// host wall time.
+// host wall time. Records accumulated before a failure are flushed on
+// every exit path, so a grid that dies halfway still leaves its
+// completed runs on disk.
+//
+// -seed overrides every run's workload RNG seed; passing it explicitly
+// selects that exact seed, including 0 (omitting the flag keeps each
+// experiment's default).
+//
+// -trace records every transaction-lifecycle, cache, signature and log
+// event of every run and writes one Chrome trace-event JSON file
+// (loadable in Perfetto or chrome://tracing): one process per grid
+// cell, one track per core plus a "machine" track, one slice per
+// transaction attempt, and flow arrows from each abort's enemy to its
+// victim. The file is byte-identical at every -par value. `uhtmsim
+// trace-summary <file>` prints a per-transaction table from such a
+// file without a browser. See EXPERIMENTS.md for the schema and a
+// worked diagnosis.
 //
 // -crash runs the crash-point fault-injection sweep instead of an
 // experiment (see RECOVERY.md): every injection point of a small
@@ -35,103 +52,267 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
+	"uhtm/internal/stats"
+	"uhtm/internal/trace"
 	"uhtm/internal/workload"
 )
 
 func main() {
-	scale := flag.Float64("scale", 1.0, "op-count scale factor (1.0 = full-size runs)")
-	seed := flag.Int64("seed", 0, "workload RNG seed override (0 = per-experiment default)")
-	par := flag.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-	jsonPath := flag.String("json", "", "write one JSON record per run to this file (\"-\" = stdout)")
-	crashSweep := flag.Bool("crash", false, "run the crash-point fault-injection sweep instead of an experiment")
-	flag.Usage = usage
-	flag.Parse()
-	if want := 1 - b2i(*crashSweep); flag.NArg() != want {
-		usage()
-		os.Exit(2)
-	}
-	opt := workload.RunOptions{Scale: *scale, Seed: *seed, Par: *par}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	enc, flush, err := jsonEmitter(*jsonPath)
+// runExperimentFn indirects workload.RunExperiment so tests can inject
+// failing experiments.
+var runExperimentFn = workload.RunExperiment
+
+// run is the entire CLI behind a testable seam: parse, execute, return
+// the exit code. Output sinks (-json, -trace) are finalized by defers,
+// which run on every return path — the earlier main() called os.Exit
+// directly, skipping the deferred flush and losing all buffered JSON
+// records whenever a late experiment failed.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("uhtmsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 1.0, "op-count scale factor (1.0 = full-size runs)")
+	seed := fs.Int64("seed", 0, "workload RNG seed override (omit to keep per-experiment defaults)")
+	par := fs.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	jsonPath := fs.String("json", "", "write one JSON record per run to this file (\"-\" = stdout)")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event file of every run to this path")
+	crashSweep := fs.Bool("crash", false, "run the crash-point fault-injection sweep instead of an experiment")
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() > 0 && fs.Arg(0) == "trace-summary" {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "usage: uhtmsim trace-summary <trace.json>")
+			return 2
+		}
+		return traceSummary(stdout, stderr, fs.Arg(1))
+	}
+
+	if want := 1 - b2i(*crashSweep); fs.NArg() != want {
+		fs.Usage()
+		return 2
+	}
+
+	// flag.Visit distinguishes an explicit `-seed 0` from an omitted
+	// flag: 0 is a legitimate seed, not a sentinel.
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	opt := workload.RunOptions{
+		Scale:   *scale,
+		Seed:    *seed,
+		SeedSet: seedSet,
+		Par:     *par,
+		Trace:   *tracePath != "",
+	}
+
+	enc, flush, err := jsonEmitter(*jsonPath, stdout)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "uhtmsim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
+		return 1
 	}
 	defer flush()
 
-	if *crashSweep {
-		fails, err := runCrash(os.Stdout, opt, enc)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "uhtmsim: %v\n", err)
-			os.Exit(1)
-		}
-		if fails > 0 {
-			flush()
-			os.Exit(1)
-		}
-		return
-	}
-	name := flag.Arg(0)
-
-	if name == "table3" {
-		fmt.Println("Table III — simulation configuration")
-		fmt.Print(workload.TableIII().Format())
-		return
-	}
-	if name == "all" {
-		fmt.Println("Table III — simulation configuration")
-		fmt.Print(workload.TableIII().Format())
-		fmt.Println()
-		for _, e := range workload.Experiments() {
-			if err := runOne(os.Stdout, e.Name, e.Desc, opt, enc); err != nil {
-				fmt.Fprintf(os.Stderr, "uhtmsim: %v\n", err)
-				os.Exit(1)
+	sink := newTraceSink(*tracePath)
+	defer func() {
+		if err := sink.write(); err != nil {
+			fmt.Fprintf(stderr, "uhtmsim: writing trace: %v\n", err)
+			if code == 0 {
+				code = 1
 			}
 		}
-		return
+	}()
+
+	if *crashSweep {
+		fails, err := runCrash(stdout, opt, enc)
+		if err != nil {
+			fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
+			return 1
+		}
+		if fails > 0 {
+			return 1
+		}
+		return 0
+	}
+	name := fs.Arg(0)
+
+	if name == "table3" {
+		fmt.Fprintln(stdout, "Table III — simulation configuration")
+		fmt.Fprint(stdout, workload.TableIII().Format())
+		return 0
+	}
+	if name == "all" {
+		fmt.Fprintln(stdout, "Table III — simulation configuration")
+		fmt.Fprint(stdout, workload.TableIII().Format())
+		fmt.Fprintln(stdout)
+		for _, e := range workload.Experiments() {
+			if err := runOne(stdout, e.Name, e.Desc, opt, enc, sink); err != nil {
+				fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
+				return 1
+			}
+		}
+		return 0
 	}
 	for _, e := range workload.Experiments() {
 		if e.Name == name {
-			if err := runOne(os.Stdout, e.Name, e.Desc, opt, enc); err != nil {
-				fmt.Fprintf(os.Stderr, "uhtmsim: %v\n", err)
-				os.Exit(1)
+			if err := runOne(stdout, e.Name, e.Desc, opt, enc, sink); err != nil {
+				fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
+				return 1
 			}
-			return
+			return 0
 		}
 	}
-	fmt.Fprintf(os.Stderr, "uhtmsim: unknown experiment %q\n", name)
-	usage()
-	os.Exit(2)
+	fmt.Fprintf(stderr, "uhtmsim: unknown experiment %q\n", name)
+	fs.Usage()
+	return 2
 }
 
 // jsonEmitter opens the -json sink: nil when disabled, stdout for "-",
-// else a freshly truncated file. flush finalizes the sink.
-func jsonEmitter(path string) (enc *json.Encoder, flush func(), err error) {
+// else a freshly truncated file. flush finalizes the sink and is safe
+// to call more than once.
+func jsonEmitter(path string, stdout io.Writer) (enc *json.Encoder, flush func(), err error) {
 	if path == "" {
 		return nil, func() {}, nil
 	}
 	if path == "-" {
-		return json.NewEncoder(os.Stdout), func() {}, nil
+		return json.NewEncoder(stdout), func() {}, nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	w := bufio.NewWriter(f)
+	done := false
 	return json.NewEncoder(w), func() {
+		if done {
+			return
+		}
+		done = true
 		w.Flush()
 		f.Close()
 	}, nil
 }
 
+// traceSink accumulates each grid cell's event stream in spec order and
+// writes the combined Chrome trace file once, when the CLI finishes
+// (including error exits, so completed runs are never lost).
+type traceSink struct {
+	path string
+	runs []trace.Run
+}
+
+// newTraceSink returns nil when tracing is disabled; all methods are
+// nil-safe.
+func newTraceSink(path string) *traceSink {
+	if path == "" {
+		return nil
+	}
+	return &traceSink{path: path}
+}
+
+// add appends one result's events under its grid-cell label.
+func (s *traceSink) add(r workload.Result) {
+	if s == nil || len(r.TraceEvents) == 0 {
+		return
+	}
+	label := fmt.Sprintf("%s/%s/%s/%dKB/seed%d",
+		r.Experiment, r.System, r.Bench, r.FootprintKB, r.Seed)
+	s.runs = append(s.runs, trace.Run{Label: label, Events: r.TraceEvents})
+}
+
+// write renders the accumulated runs as one Chrome trace-event file.
+func (s *traceSink) write() error {
+	if s == nil {
+		return nil
+	}
+	f, err := os.Create(s.path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, s.runs, causeName); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// causeName resolves numeric abort-cause codes for trace rendering —
+// injected here because internal/trace sits below internal/stats.
+func causeName(c uint64) string { return stats.AbortCause(c).String() }
+
+// traceSummary prints a per-transaction table from a Chrome trace file
+// written by -trace.
+func traceSummary(stdout, stderr io.Writer, path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	txs, err := trace.ReadChromeTxs(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
+		return 1
+	}
+	// Stable run order for the per-run sections: first appearance.
+	order := []string{}
+	byRun := map[string][]trace.ChromeTx{}
+	for _, tx := range txs {
+		if _, ok := byRun[tx.Run]; !ok {
+			order = append(order, tx.Run)
+		}
+		byRun[tx.Run] = append(byRun[tx.Run], tx)
+	}
+	for _, run := range order {
+		fmt.Fprintf(stdout, "== %s\n", run)
+		tbl := &stats.Table{Header: []string{
+			"tx", "core", "attempt", "slow", "start_us", "dur_us",
+			"reads", "writes", "wal", "outcome",
+		}}
+		rows := byRun[run]
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].StartUS < rows[j].StartUS })
+		var commits, aborts int
+		for _, tx := range rows {
+			switch {
+			case tx.Outcome == "commit":
+				commits++
+			case tx.Outcome != "in-flight":
+				aborts++
+			}
+			outcome := tx.Outcome
+			if tx.Enemy != 0 {
+				outcome = fmt.Sprintf("%s (enemy tx%d)", outcome, tx.Enemy)
+			}
+			tbl.AddRow(tx.Name, fmt.Sprint(tx.Core), fmt.Sprint(tx.Attempt),
+				fmt.Sprint(tx.Slow), fmt.Sprintf("%.3f", tx.StartUS),
+				fmt.Sprintf("%.3f", tx.DurUS), fmt.Sprint(tx.Reads),
+				fmt.Sprint(tx.Writes), fmt.Sprint(tx.WAL), outcome)
+		}
+		fmt.Fprint(stdout, tbl.Format())
+		fmt.Fprintf(stdout, "(%d attempts: %d commits, %d aborts)\n\n", len(rows), commits, aborts)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(stdout, "(no transaction slices in trace)")
+	}
+	return 0
+}
+
 // runOne executes one experiment, prints its table plus a per-experiment
-// summary line, and emits every run's JSON record.
-func runOne(out io.Writer, name, desc string, opt workload.RunOptions, enc *json.Encoder) error {
+// summary line, and emits every run's JSON record and trace events.
+func runOne(out io.Writer, name, desc string, opt workload.RunOptions, enc *json.Encoder, sink *traceSink) error {
 	fmt.Fprintf(out, "== %s — %s (scale=%.2f)\n", name, desc, opt.Scale)
 	start := time.Now()
-	tbl, results, err := workload.RunExperiment(name, opt)
+	tbl, results, err := runExperimentFn(name, opt)
 	if err != nil {
 		return err
 	}
@@ -143,6 +324,9 @@ func runOne(out io.Writer, name, desc string, opt workload.RunOptions, enc *json
 	}
 	fmt.Fprintf(out, "(%s: %d runs, %d commits, %d aborts, in %v)\n\n",
 		name, len(results), commits, aborts, time.Since(start).Round(time.Millisecond))
+	for _, r := range results {
+		sink.add(r)
+	}
 	if enc != nil {
 		for _, r := range results {
 			if err := enc.Encode(r); err != nil {
@@ -189,16 +373,17 @@ func b2i(b bool) int {
 	return 0
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage: uhtmsim [-scale f] [-seed n] [-par n] [-json path] <experiment>
+func usage(fs *flag.FlagSet, w io.Writer) {
+	fmt.Fprintf(w, `usage: uhtmsim [-scale f] [-seed n] [-par n] [-json path] [-trace path] <experiment>
        uhtmsim -crash [-scale f] [-seed n] [-par n] [-json path]
+       uhtmsim trace-summary <trace.json>
 
 experiments:
   table3   simulation configuration (Table III)
 `)
 	for _, e := range workload.Experiments() {
-		fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.Name, e.Desc)
+		fmt.Fprintf(w, "  %-8s %s\n", e.Name, e.Desc)
 	}
-	fmt.Fprintf(os.Stderr, "  all      everything above\n")
-	flag.PrintDefaults()
+	fmt.Fprintf(w, "  all      everything above\n")
+	fs.PrintDefaults()
 }

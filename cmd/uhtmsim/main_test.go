@@ -4,10 +4,14 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"uhtm/internal/stats"
+	"uhtm/internal/trace"
 	"uhtm/internal/workload"
 )
 
@@ -32,7 +36,7 @@ func TestDocCommentListsAllExperiments(t *testing.T) {
 			t.Errorf("doc comment omits experiment %q — regenerate it from the registry list", n)
 		}
 	}
-	for _, f := range []string{"-scale", "-seed", "-par", "-json", "-crash"} {
+	for _, f := range []string{"-scale", "-seed", "-par", "-json", "-trace", "-crash", "trace-summary"} {
 		if !strings.Contains(doc, f) {
 			t.Errorf("doc comment omits flag %q", f)
 		}
@@ -47,7 +51,7 @@ func TestRunOneSmoke(t *testing.T) {
 	}
 	var out, jsonBuf bytes.Buffer
 	enc := json.NewEncoder(&jsonBuf)
-	if err := runOne(&out, "fig2", "smoke", workload.RunOptions{Scale: 0.02, Par: 4}, enc); err != nil {
+	if err := runOne(&out, "fig2", "smoke", workload.RunOptions{Scale: 0.02, Par: 4}, enc, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -136,5 +140,147 @@ func TestRunCrashSmoke(t *testing.T) {
 func TestUnknownExperiment(t *testing.T) {
 	if _, _, err := workload.RunExperiment("fig99", workload.RunOptions{}); err == nil {
 		t.Error("RunExperiment(fig99) succeeded, want error")
+	}
+}
+
+// stubExperiments swaps the experiment runner for the duration of a
+// test.
+func stubExperiments(t *testing.T, fn func(string, workload.RunOptions) (*stats.Table, []workload.Result, error)) {
+	t.Helper()
+	orig := runExperimentFn
+	runExperimentFn = fn
+	t.Cleanup(func() { runExperimentFn = orig })
+}
+
+func fakeResult(exp, system string) workload.Result {
+	r := workload.Result{Experiment: exp, System: system, Bench: workload.BenchHashMap, Seed: 1}
+	r.Stats.Commits = 3
+	return r
+}
+
+// TestJSONRecordsSurviveErrorExit is the regression test for the
+// record-loss bug: main() used to call os.Exit directly on experiment
+// failure, skipping the deferred flush of the buffered -json writer, so
+// an `all` run that died on a late experiment lost every record already
+// produced. run() must leave the earlier experiments' records on disk.
+func TestJSONRecordsSurviveErrorExit(t *testing.T) {
+	calls := 0
+	stubExperiments(t, func(name string, opt workload.RunOptions) (*stats.Table, []workload.Result, error) {
+		calls++
+		if calls >= 2 {
+			return nil, nil, errors.New("injected failure")
+		}
+		tbl := &stats.Table{Header: []string{"x"}}
+		return tbl, []workload.Result{fakeResult(name, "A"), fakeResult(name, "B")}, nil
+	})
+
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", path, "all"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "injected failure") {
+		t.Errorf("stderr does not report the failure: %q", errOut.String())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no JSON file after error exit: %v", err)
+	}
+	var records int
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var r workload.Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("record %d corrupt: %v", records, err)
+		}
+		records++
+	}
+	if records != 2 {
+		t.Errorf("got %d records on disk after error exit, want 2 (the first experiment's)", records)
+	}
+}
+
+// TestSeedZeroIsSelectable is the regression test for the -seed
+// sentinel bug: 0 used to mean "no override", making seed 0 the one
+// unselectable seed. An explicit `-seed 0` must reach the runs; an
+// omitted flag must keep per-experiment defaults.
+func TestSeedZeroIsSelectable(t *testing.T) {
+	var got []workload.RunOptions
+	stubExperiments(t, func(name string, opt workload.RunOptions) (*stats.Table, []workload.Result, error) {
+		got = append(got, opt)
+		return &stats.Table{Header: []string{"x"}}, nil, nil
+	})
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-seed", "0", "fig2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d (stderr: %s)", code, errOut.String())
+	}
+	if code := run([]string{"fig2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d (stderr: %s)", code, errOut.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("runner called %d times, want 2", len(got))
+	}
+	if !got[0].SeedSet || got[0].Seed != 0 {
+		t.Errorf("explicit -seed 0 not marked: %+v", got[0])
+	}
+	if got[1].SeedSet {
+		t.Errorf("omitted -seed marked as explicit: %+v", got[1])
+	}
+}
+
+// TestSeedZeroReachesConfig: an explicitly chosen seed 0 overrides the
+// per-experiment default (42) in the actual run configs — the
+// end-to-end half of the sentinel regression.
+func TestSeedZeroReachesConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real fig2 run skipped in -short mode")
+	}
+	_, rs, err := workload.RunExperiment("fig2", workload.RunOptions{Scale: 0.01, SeedSet: true, Seed: 0, Par: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Seed != 0 {
+			t.Fatalf("run %s/%s seed = %d, want explicit 0", r.System, r.Bench, r.Seed)
+		}
+	}
+}
+
+// TestTraceFileWrittenAndLoadable: `-trace` produces a Chrome
+// trace-event file that parses back into transaction slices, and
+// `trace-summary` renders it.
+func TestTraceFileWrittenAndLoadable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traced fig2 run skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scale", "0.01", "-par", "4", "-trace", path, "fig2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d (stderr: %s)", code, errOut.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	txs, err := trace.ReadChromeTxs(f)
+	if err != nil {
+		t.Fatalf("trace file unparseable: %v", err)
+	}
+	if len(txs) == 0 {
+		t.Fatal("trace file has no transaction slices")
+	}
+
+	var sum, sumErr bytes.Buffer
+	if code := run([]string{"trace-summary", path}, &sum, &sumErr); code != 0 {
+		t.Fatalf("trace-summary exit code = %d (stderr: %s)", code, sumErr.String())
+	}
+	for _, want := range []string{"tx", "outcome", "commit", "attempts:"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Errorf("trace-summary output missing %q:\n%s", want, sum.String())
+		}
 	}
 }

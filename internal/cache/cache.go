@@ -41,6 +41,10 @@ type Cache struct {
 
 	// Hits and Misses count Lookup results, for statistics.
 	Hits, Misses uint64
+
+	// onLookup, when set, observes every Lookup outcome (the tracing
+	// layer's hit/miss event source). It must not mutate the cache.
+	onLookup func(addr mem.Addr, hit bool)
 }
 
 // New builds a cache of the given total size in bytes and associativity.
@@ -87,6 +91,10 @@ func (c *Cache) find(a mem.Addr) *line {
 	return nil
 }
 
+// SetLookupHook installs (or, with nil, removes) an observer for Lookup
+// outcomes.
+func (c *Cache) SetLookupHook(f func(addr mem.Addr, hit bool)) { c.onLookup = f }
+
 // Lookup reports whether the line containing a is present, refreshing
 // its LRU position on a hit and updating hit/miss counters.
 func (c *Cache) Lookup(a mem.Addr) bool {
@@ -94,9 +102,15 @@ func (c *Cache) Lookup(a mem.Addr) bool {
 		c.tick++
 		l.used = c.tick
 		c.Hits++
+		if c.onLookup != nil {
+			c.onLookup(mem.LineOf(a), true)
+		}
 		return true
 	}
 	c.Misses++
+	if c.onLookup != nil {
+		c.onLookup(mem.LineOf(a), false)
+	}
 	return false
 }
 

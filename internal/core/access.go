@@ -9,6 +9,7 @@ import (
 	"uhtm/internal/signature"
 	"uhtm/internal/sim"
 	"uhtm/internal/stats"
+	"uhtm/internal/trace"
 )
 
 // victim pairs a conflicting transaction with the classification of the
@@ -86,7 +87,7 @@ func (m *Machine) accessEx(th *sim.Thread, core int, tx *Tx, a mem.Addr, write, 
 		probe = !llcResident || m.sticky[la]
 	}
 	if probe {
-		vs, matched := m.probeOffChip(la, tx, domain, write)
+		vs, matched := m.probeOffChip(core, la, tx, domain, write)
 		victims = append(victims, vs...)
 		if matched && !llcResident {
 			m.stickySet(la)
@@ -141,9 +142,13 @@ func (m *Machine) ntDomain(core int) int {
 // the machine is (the consolidated-environment false-conflict source the
 // optimization removes). It returns conflicting victims and whether any
 // signature matched at all (for the sticky bit).
-func (m *Machine) probeOffChip(la mem.Addr, tx *Tx, domain int, write bool) ([]victim, bool) {
+func (m *Machine) probeOffChip(core int, la mem.Addr, tx *Tx, domain int, write bool) ([]victim, bool) {
 	var out []victim
 	matched := false
+	reqID := uint64(0)
+	if tx != nil {
+		reqID = tx.id
+	}
 	for _, other := range m.activeInOrder() {
 		if tx != nil && other.id == tx.id {
 			continue
@@ -177,6 +182,16 @@ func (m *Machine) probeOffChip(la mem.Addr, tx *Tx, domain int, write bool) ([]v
 				other.sig.Read.MayContain(la) || other.sig.Write.MayContain(la) {
 				matched = true
 			}
+		}
+		if m.tr != nil {
+			var verdict uint64
+			switch kind {
+			case signature.TrueConflict:
+				verdict = 1
+			case signature.FalsePositive:
+				verdict = 2
+			}
+			m.emit(trace.EvSigProbe, core, reqID, la, verdict, other.id)
 		}
 		switch kind {
 		case signature.TrueConflict:
@@ -221,12 +236,13 @@ func (m *Machine) activeInOrder() []*Tx {
 func (m *Machine) resolve(tx *Tx, victims []victim, onChip bool) {
 	selfAbort := false
 	var selfCause stats.AbortCause
+	var enemy *Tx // the victim that wins against the requester
 	for _, v := range victims {
 		if v.tx.slowPath {
 			// The lock holder never aborts; a (cross-domain
 			// false-positive) conflict with it aborts the requester.
 			if tx != nil && !tx.slowPath {
-				selfAbort, selfCause = true, v.cause
+				selfAbort, selfCause, enemy = true, v.cause, v.tx
 				break
 			}
 			continue
@@ -238,17 +254,17 @@ func (m *Machine) resolve(tx *Tx, victims []victim, onChip bool) {
 		vicOvf := v.tx.status.overflowed
 		switch {
 		case vicOvf && !reqOvf:
-			selfAbort, selfCause = true, v.cause
+			selfAbort, selfCause, enemy = true, v.cause, v.tx
 		case reqOvf && !vicOvf:
 			// victim aborts
 		case m.opts.Aging: // ablation: the younger transaction aborts
 			if tx.id > v.tx.id {
-				selfAbort, selfCause = true, v.cause
+				selfAbort, selfCause, enemy = true, v.cause, v.tx
 			}
 		default: // none or both overflowed
 			if !onChip {
 				// requester-aborts (no extra inter-processor traffic)
-				selfAbort, selfCause = true, v.cause
+				selfAbort, selfCause, enemy = true, v.cause, v.tx
 			}
 			// on-chip: requester-wins → victim aborts
 		}
@@ -257,13 +273,13 @@ func (m *Machine) resolve(tx *Tx, victims []victim, onChip bool) {
 		}
 	}
 	if selfAbort {
-		panic(txAbort{cause: selfCause})
+		panic(txAbort{cause: selfCause, enemyID: enemy.id, enemyCore: enemy.core})
 	}
 	for _, v := range victims {
 		if v.tx.status.abortFlag || v.tx.slowPath {
 			continue // already marked this round / unabortable
 		}
-		m.abortVictim(v.tx, v.cause)
+		m.abortVictim(v.tx, v.cause, tx)
 	}
 }
 
@@ -271,10 +287,19 @@ func (m *Machine) resolve(tx *Tx, victims []victim, onChip bool) {
 // hardware abort protocol runs regardless of whether v's thread is
 // scheduled — Section IV-E's context-switch handling), and charges the
 // rollback latency to v's core. v's thread observes the flag at its next
-// transactional operation and unwinds.
-func (m *Machine) abortVictim(v *Tx, cause stats.AbortCause) {
+// transactional operation and unwinds. enemy is the transaction whose
+// conflict caused the abort (nil when none exists, e.g. a
+// non-transactional requester or a lock acquisition).
+func (m *Machine) abortVictim(v *Tx, cause stats.AbortCause, enemy *Tx) {
 	v.status.abortFlag = true
 	v.status.abortCause = cause
+	if enemy != nil {
+		v.status.abortEnemy = enemy.id
+		v.status.abortEnemyCore = enemy.core
+	} else {
+		v.status.abortEnemy = 0
+		v.status.abortEnemyCore = -1
+	}
 	cost := m.rollback(v)
 	v.th.Bump(cost)
 }
@@ -307,6 +332,10 @@ func (m *Machine) paranoidCheck(tx *Tx, la mem.Addr, write bool) {
 // fills evict (which feeds the overflow machinery).
 func (m *Machine) walk(th *sim.Thread, core int, la mem.Addr, tx *Tx, write, streamed bool) {
 	cfg := m.cfg
+	txid := uint64(0)
+	if tx != nil {
+		txid = tx.id
+	}
 	lat := cfg.L1Latency
 	if !m.l1[core].Lookup(la) {
 		lat += cfg.LLCLatency
@@ -319,25 +348,32 @@ func (m *Machine) walk(th *sim.Thread, core int, la mem.Addr, tx *Tx, write, str
 			m.dcache.Lookup(la) // keep DRAM-cache LRU state honest
 			m.llc.Insert(la)
 			m.l1[core].Insert(la)
+			m.emit(trace.EvMemFill, core, txid, la, trace.MemStreamed, uint64(m.lat.StreamLine))
 		} else {
 			// Memory access.
+			var fillLat sim.Time
+			src := uint64(trace.MemNVM)
 			switch {
 			case mem.KindOf(la) == mem.DRAM:
-				lat += cfg.DRAMLatency
+				fillLat = cfg.DRAMLatency
 				// Lazy (redo) DRAM versioning pays a log indirection to
 				// find the new value of an overflowed line (Fig. 4b).
 				if m.opts.DRAMLog == DRAMRedo && tx != nil {
 					if _, ovf := tx.overflowedDRAM[la]; ovf {
-						lat += cfg.DRAMLatency
+						fillLat += cfg.DRAMLatency
 					}
 				}
+				src = trace.MemDRAM
 			case !m.opts.NoDRAMCache && m.dcache.Lookup(la):
-				lat += cfg.DRAMLatency // early-evicted block: DRAM speed
+				fillLat = cfg.DRAMLatency // early-evicted block: DRAM speed
+				src = trace.MemDRAMCache
 			default:
-				lat += cfg.NVMReadLatency
+				fillLat = cfg.NVMReadLatency
 			}
+			lat += fillLat
 			m.llc.Insert(la)
 			m.l1[core].Insert(la)
+			m.emit(trace.EvMemFill, core, txid, la, src, uint64(fillLat))
 		}
 	}
 	if write {
@@ -404,6 +440,13 @@ func (m *Machine) drainEvictions(requester *Tx) {
 			l1.Invalidate(la)
 		}
 		owner, sharers := m.dir.SurrenderLine(la)
+		if m.tr != nil {
+			var dirty uint64
+			if e.Dirty {
+				dirty = 1
+			}
+			m.emit(trace.EvLLCEvict, -1, owner, la, dirty, 0)
+		}
 		// Non-transactional dirty write-back.
 		if e.Dirty && owner == 0 {
 			if mem.KindOf(la) == mem.NVM {
@@ -487,14 +530,17 @@ func (m *Machine) capacityAbort(t *Tx, requester *Tx) {
 	if !t.status.overflowed {
 		m.statsFor(t.domain).Overflows++
 		m.stats.Overflows++
+		m.emit(trace.EvTxOverflow, t.core, t.id, 0, 0, 0)
 	}
 	t.status.overflowed = true
 	if t == requester {
 		t.status.abortFlag = true
 		t.status.abortCause = stats.CauseCapacity
+		t.status.abortEnemy = 0
+		t.status.abortEnemyCore = -1
 		return
 	}
-	m.abortVictim(t, stats.CauseCapacity)
+	m.abortVictim(t, stats.CauseCapacity, requester)
 }
 
 // markOverflowed sets the TSS overflow bit (first time) and counts it.
@@ -503,6 +549,7 @@ func (m *Machine) markOverflowed(t *Tx) {
 		t.status.overflowed = true
 		m.statsFor(t.domain).Overflows++
 		m.stats.Overflows++
+		m.emit(trace.EvTxOverflow, t.core, t.id, 0, 0, 0)
 	}
 }
 
@@ -514,6 +561,13 @@ func (m *Machine) markOverflowed(t *Tx) {
 // straight to durable NVM) — failure-atomicity holds for the serialized
 // path too.
 func (m *Machine) track(tx *Tx, la mem.Addr, write bool) {
+	if m.tr != nil {
+		k := trace.EvTxRead
+		if write {
+			k = trace.EvTxWrite
+		}
+		m.emit(k, tx.core, tx.id, la, 0, 0)
+	}
 	if write {
 		if _, ok := tx.undoImages[la]; !ok {
 			tx.undoImages[la] = m.store.PeekLine(la)

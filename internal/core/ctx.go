@@ -62,7 +62,9 @@ func (c *Ctx) Run(body func(*Tx)) {
 	lock := c.m.lock(c.domain)
 	for attempt := 0; attempt < c.m.opts.MaxRetries; attempt++ {
 		// Lines 10–14: wait while a lock holder serializes the domain.
+		waitStart := c.th.Clock()
 		c.th.WaitUntil(func() bool { return !lock.held }, 50*sim.Nanosecond)
+		c.m.noteSlowWait(c, c.th.Clock()-waitStart, false)
 		tx := c.m.begin(c, attempt, false)
 		ab := c.m.runBody(tx, body)
 		if ab == nil {
@@ -92,7 +94,7 @@ func (m *Machine) runBody(tx *Tx, body func(*Tx)) (ab *txAbort) {
 			return
 		}
 		if a, ok := r.(txAbort); ok {
-			m.finishAbort(tx, a.cause)
+			m.finishAbort(tx, a)
 			ab = &a
 			return
 		}
@@ -124,12 +126,14 @@ func (c *Ctx) backoff(attempt int) {
 // those transactions having the lock word in their read-sets.
 func (m *Machine) acquireLock(c *Ctx) {
 	l := m.lock(c.domain)
+	waitStart := c.th.Clock()
 	c.th.WaitUntil(func() bool { return !l.held }, 100*sim.Nanosecond)
+	m.noteSlowWait(c, c.th.Clock()-waitStart, true)
 	l.held = true
 	l.holder = c.core
 	for _, t := range m.activeInOrder() {
 		if t.domain == c.domain && !t.slowPath && !t.status.abortFlag {
-			m.abortVictim(t, stats.CauseLock)
+			m.abortVictim(t, stats.CauseLock, nil)
 		}
 	}
 }

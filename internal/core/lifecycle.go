@@ -8,7 +8,7 @@ import (
 	"uhtm/internal/mem"
 	"uhtm/internal/signature"
 	"uhtm/internal/sim"
-	"uhtm/internal/stats"
+	"uhtm/internal/trace"
 	"uhtm/internal/wal"
 )
 
@@ -26,7 +26,7 @@ const beginCost = 5 * 1000 // 5ns in picoseconds
 func (m *Machine) begin(c *Ctx, attempt int, slow bool) *Tx {
 	m.txCounter++
 	id := m.txCounter
-	st := &txStatus{id: id, core: c.core, domain: c.domain, slowPath: slow}
+	st := &txStatus{id: id, core: c.core, domain: c.domain, slowPath: slow, abortEnemyCore: -1}
 	tx := &Tx{
 		m:              m,
 		th:             c.th,
@@ -48,6 +48,13 @@ func (m *Machine) begin(c *Ctx, attempt int, slow bool) *Tx {
 	m.active[id] = tx
 	m.byCore[c.core] = tx
 	c.th.Advance(beginCost)
+	if m.tr != nil {
+		var slowBit uint64
+		if slow {
+			slowBit = 1
+		}
+		m.emit(trace.EvTxBegin, c.core, id, 0, uint64(attempt)+1, uint64(c.domain)<<1|slowBit)
+	}
 	return tx
 }
 
@@ -60,6 +67,7 @@ func (m *Machine) commit(tx *Tx) {
 	tx.th.Sync()
 	tx.checkAbortFlag()
 	m.hit(PointCommitBegin)
+	m.emit(trace.EvTxCommitBegin, tx.core, tx.id, 0, 0, 0)
 	tx.committing = true
 	cfg := m.cfg
 
@@ -68,7 +76,8 @@ func (m *Machine) commit(tx *Tx) {
 	// --- NVM side ---
 	if len(tx.nvmWrites) > 0 {
 		ring := m.redoRings.ForCore(tx.core)
-		for _, la := range sortedAddrs(tx.nvmWrites) {
+		nvmAddrs := sortedAddrs(tx.nvmWrites)
+		for _, la := range nvmAddrs {
 			img := m.store.PeekLine(la)
 			m.hit(PointCommitRecord)
 			ring.Append(walWrite(tx.id, la, img))
@@ -77,6 +86,7 @@ func (m *Machine) commit(tx *Tx) {
 		m.lsnCounter++
 		m.hit(PointCommitMark)
 		ring.Append(wal.Record{Type: wal.RecCommit, TxID: tx.id, LSN: m.lsnCounter})
+		m.emit(trace.EvTxCommitMark, tx.core, tx.id, 0, m.lsnCounter, 0)
 		// The log writes were issued asynchronously during execution;
 		// the critical-path wait is the commit mark reaching the ADR
 		// domain.
@@ -88,7 +98,7 @@ func (m *Machine) commit(tx *Tx) {
 		if len(tx.overflowList) > 0 {
 			nvmLat += int64(cfg.DRAMLatency)
 		}
-		for la := range tx.nvmWrites {
+		for _, la := range nvmAddrs {
 			if m.llc.Contains(la) || m.l1[tx.core].Contains(la) {
 				m.dcache.Insert(la, tx.id)
 				nvmLat += int64(m.lat.FlushPerLine)
@@ -128,6 +138,9 @@ func (m *Machine) commit(tx *Tx) {
 // statistics.
 func (m *Machine) finishCommit(tx *Tx) {
 	tx.finished = true
+	if tx.status.overflowed {
+		m.noteSigOccupancy(tx)
+	}
 	m.dir.ClearTx(tx.id)
 	// Undo-log records of this transaction are dead; the per-core ring
 	// reclaims to its head (one live transaction per core).
@@ -154,6 +167,8 @@ func (m *Machine) finishCommit(tx *Tx) {
 		s.SlowPath++
 		m.stats.SlowPath++
 	}
+	m.noteCommitChain(tx, s)
+	m.emit(trace.EvTxCommitDone, tx.core, tx.id, 0, 0, 0)
 
 	if m.opts.TrackCommits {
 		writes := make(map[mem.Addr]mem.Line, tx.writeLines.Len())
@@ -181,6 +196,7 @@ func (m *Machine) rollback(tx *Tx) (cost sim.Time) {
 	}
 	tx.rolledBack = true
 	tx.finished = true
+	m.noteAbort(tx)
 	m.hit(PointAbortBegin)
 	cfg := m.cfg
 
@@ -235,15 +251,22 @@ func (m *Machine) rollback(tx *Tx) (cost sim.Time) {
 
 // finishAbort completes an unwound attempt on its own thread: performs
 // the rollback unless a remote aborter already did, and records the
-// abort cause.
-func (m *Machine) finishAbort(tx *Tx, cause stats.AbortCause) {
+// abort cause. The unwind signal's enemy fields are copied onto the TSS
+// before rollback so the trace's abort event carries them (a remote
+// aborter already filled them in via abortVictim).
+func (m *Machine) finishAbort(tx *Tx, ab txAbort) {
+	if !tx.rolledBack {
+		tx.status.abortCause = ab.cause
+		tx.status.abortEnemy = ab.enemyID
+		tx.status.abortEnemyCore = ab.enemyCore
+	}
 	cost := m.rollback(tx)
 	tx.th.Advance(cost)
 	delete(m.tss, tx.id)
 
 	s := m.statsFor(tx.domain)
-	s.AbortsBy[cause]++
-	m.stats.AbortsBy[cause]++
+	s.AbortsBy[ab.cause]++
+	m.stats.AbortsBy[ab.cause]++
 }
 
 // clearSticky drops all sticky check-signature bits once no live
@@ -318,6 +341,7 @@ func (m *Machine) setCheckpoint(lsn uint64) {
 	m.store.WriteU64(m.ckptAddr, lsn)
 	l := m.store.PeekLine(m.ckptAddr)
 	m.store.PersistLine(m.ckptAddr, &l)
+	m.emit(trace.EvWALCheckpoint, -1, 0, 0, lsn, 0)
 }
 
 // persistPending force-drains the committed image of every NVM line

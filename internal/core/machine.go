@@ -21,6 +21,7 @@ import (
 	"uhtm/internal/signature"
 	"uhtm/internal/sim"
 	"uhtm/internal/stats"
+	"uhtm/internal/trace"
 	"uhtm/internal/wal"
 )
 
@@ -175,8 +176,14 @@ type txStatus struct {
 	domain     int
 	abortFlag  bool
 	abortCause stats.AbortCause
-	overflowed bool
-	slowPath   bool
+	// abortEnemy/abortEnemyCore identify the transaction whose conflict
+	// set the abort flag (trace arrows, abort-chain depth);
+	// abortEnemyCore is -1 when there is no enemy (explicit aborts,
+	// lock acquisitions).
+	abortEnemy     uint64
+	abortEnemyCore int
+	overflowed     bool
+	slowPath       bool
 }
 
 // committedTx is retained when Options.TrackCommits is set: enough to
@@ -246,6 +253,14 @@ type Machine struct {
 	// up a newer *uncommitted* in-place write.
 	pendingNVM map[mem.Addr]mem.Line
 
+	// tr is the engine world's event recorder (nil = tracing disabled);
+	// cached here so hot paths pay one pointer test. abortDepth tracks,
+	// per core, the depth of the abort cascade the core is currently in
+	// (reset when its transaction commits) — the source of the
+	// abort-chain histogram.
+	tr         *trace.Recorder
+	abortDepth []int
+
 	// crashpoint, when set, fires at every named step of the commit,
 	// abort and reclamation protocols (the Point* constants in this
 	// package, wal and mem). Installed by SetCrashpoint; used by the
@@ -288,6 +303,7 @@ func NewMachine(eng *sim.Engine, cfg mem.Config, opts Options) *Machine {
 		coreDomain:  make([]int, cfg.Cores),
 		pendingNVM:  make(map[mem.Addr]mem.Line),
 		syncCount:   make([]int, cfg.Cores),
+		abortDepth:  make([]int, cfg.Cores),
 	}
 	for i := range m.coreDomain {
 		m.coreDomain[i] = -1
@@ -305,6 +321,9 @@ func NewMachine(eng *sim.Engine, cfg mem.Config, opts Options) *Machine {
 	// the redo rings share the rest.
 	m.ckptAddr = mem.NVMLogBase
 	m.redoRings = wal.NewRings(m.store, mem.NVMLogBase+mem.LineSize, mem.LogAreaSize-mem.LineSize, cfg.Cores, true)
+	if tr := eng.Tracer(); tr != nil {
+		m.installTracer(tr)
+	}
 	return m
 }
 

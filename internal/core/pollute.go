@@ -30,10 +30,10 @@ func (c *Ctx) PolluteLLC(base mem.Addr, window, n int, perLine sim.Time, rng *ra
 		if !m.llc.Contains(la) {
 			// LLC-missed request: signature check in scope.
 			if m.opts.Detect != DetectLLCBounded {
-				vs, _ := m.probeOffChip(la, nil, c.domain, false)
+				vs, _ := m.probeOffChip(c.core, la, nil, c.domain, false)
 				for _, v := range vs {
 					if !v.tx.status.abortFlag && !v.tx.slowPath {
-						m.abortVictim(v.tx, v.cause)
+						m.abortVictim(v.tx, v.cause, nil)
 					}
 				}
 			}

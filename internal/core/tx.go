@@ -60,9 +60,14 @@ type Tx struct {
 	committing bool
 }
 
-// txAbort is the unwind signal for an aborting transaction.
+// txAbort is the unwind signal for an aborting transaction. It carries
+// the enemy — the transaction whose conflict triggered the abort — for
+// trace arrows and abort-chain accounting (enemyCore is -1 when there
+// is none, e.g. explicit aborts).
 type txAbort struct {
-	cause stats.AbortCause
+	cause     stats.AbortCause
+	enemyID   uint64
+	enemyCore int
 }
 
 // ID returns the transaction's globally unique identifier.
@@ -89,7 +94,11 @@ func (tx *Tx) SlowPath() bool { return tx.slowPath }
 // marked this transaction aborted in the TSS.
 func (tx *Tx) checkAbortFlag() {
 	if tx.status.abortFlag {
-		panic(txAbort{cause: tx.status.abortCause})
+		panic(txAbort{
+			cause:     tx.status.abortCause,
+			enemyID:   tx.status.abortEnemy,
+			enemyCore: tx.status.abortEnemyCore,
+		})
 	}
 }
 
@@ -131,7 +140,7 @@ func (tx *Tx) WriteBytes(a mem.Addr, b []byte) {
 // Abort explicitly aborts the current attempt (xabort-style). Run will
 // retry the body.
 func (tx *Tx) Abort() {
-	panic(txAbort{cause: stats.CauseExplicit})
+	panic(txAbort{cause: stats.CauseExplicit, enemyCore: -1})
 }
 
 // rangeLines invokes fn for each line of [a, a+n).

@@ -13,8 +13,11 @@
 package dramcache
 
 import (
+	"sort"
+
 	"uhtm/internal/cache"
 	"uhtm/internal/mem"
+	"uhtm/internal/trace"
 )
 
 type lineMeta struct {
@@ -33,6 +36,11 @@ type Cache struct {
 	// log is their durability backstop).
 	Drains uint64
 	Drops  uint64
+
+	// tracer, when set, receives fill/drain/drop events; traceNow
+	// supplies the engine world's virtual time.
+	tracer   *trace.Recorder
+	traceNow func() int64
 }
 
 // New builds a DRAM cache of the given geometry.
@@ -45,6 +53,20 @@ func New(size, ways int) *Cache {
 	return c
 }
 
+// SetTracer installs (or, with nil, removes) the event recorder. now
+// supplies virtual timestamps. While tracing, map-order-sensitive bulk
+// operations iterate in sorted address order so event sequences are
+// deterministic (the cache state itself is order-independent).
+func (c *Cache) SetTracer(r *trace.Recorder, now func() int64) {
+	c.tracer, c.traceNow = r, now
+}
+
+func (c *Cache) emit(k trace.Kind, tx uint64, la mem.Addr) {
+	if c.tracer != nil {
+		c.tracer.Emit(c.traceNow(), -1, k, tx, uint64(la), 0, 0)
+	}
+}
+
 func (c *Cache) onEvict(e cache.Eviction) {
 	la := e.Addr
 	m := c.meta[la]
@@ -53,8 +75,10 @@ func (c *Cache) onEvict(e cache.Eviction) {
 	}
 	if m.committed {
 		c.Drains++
+		c.emit(trace.EvDCDrain, m.tx, la)
 	} else {
 		c.Drops++
+		c.emit(trace.EvDCDrop, m.tx, la)
 	}
 	c.unindex(m.tx, la)
 	delete(c.meta, la)
@@ -88,6 +112,7 @@ func (c *Cache) unindex(tx uint64, la mem.Addr) {
 // tx (0 for non-transactional data, which is immediately committed).
 func (c *Cache) Insert(a mem.Addr, tx uint64) {
 	la := mem.LineOf(a)
+	c.emit(trace.EvDCFill, tx, la)
 	if m := c.meta[la]; m != nil {
 		// Re-inserted (the line bounced LLC→DRAM$ again): adopt the
 		// newest owner.
@@ -127,10 +152,11 @@ func (c *Cache) CommitTx(tx uint64) int {
 func (c *Cache) InvalidateTx(tx uint64) int {
 	lines := c.byTx[tx]
 	n := 0
-	for la := range lines {
+	for _, la := range c.iterOrder(lines) {
 		if m := c.meta[la]; m != nil && m.tx == tx {
 			c.tags.Invalidate(la)
 			delete(c.meta, la)
+			c.emit(trace.EvDCDrop, tx, la)
 			n++
 		}
 	}
@@ -142,15 +168,40 @@ func (c *Cache) InvalidateTx(tx uint64) int {
 // updates are handled by the machine's commit-image bookkeeping).
 // Uncommitted lines stay.
 func (c *Cache) DrainAll() {
-	for la, m := range c.meta {
-		if !m.committed {
+	for _, la := range c.iterOrder(c.metaKeys()) {
+		m := c.meta[la]
+		if m == nil || !m.committed {
 			continue
 		}
 		c.Drains++
+		c.emit(trace.EvDCDrain, m.tx, la)
 		c.tags.Invalidate(la)
 		c.unindex(m.tx, la)
 		delete(c.meta, la)
 	}
+}
+
+// metaKeys returns the buffered line set as a key map for iterOrder.
+func (c *Cache) metaKeys() map[mem.Addr]struct{} {
+	ks := make(map[mem.Addr]struct{}, len(c.meta))
+	for la := range c.meta {
+		ks[la] = struct{}{}
+	}
+	return ks
+}
+
+// iterOrder returns the keys of s, sorted when tracing (so bulk
+// operations emit events deterministically) and in map order otherwise
+// (cheaper; the resulting state is identical either way).
+func (c *Cache) iterOrder(s map[mem.Addr]struct{}) []mem.Addr {
+	out := make([]mem.Addr, 0, len(s))
+	for la := range s {
+		out = append(out, la)
+	}
+	if c.tracer != nil {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out
 }
 
 // Len returns the number of buffered lines.

@@ -10,6 +10,7 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -44,18 +45,37 @@ func Execute[R any](specs []Spec[R], par int) []R {
 	results := make([]R, len(specs))
 	if par <= 1 {
 		for i := range specs {
-			results[i] = specs[i].Run()
+			results[i] = runSpec(specs, i)
 		}
 		return results
 	}
 	idx := make(chan int)
-	var wg sync.WaitGroup
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+		// First panic by spec index: with several workers dying at once,
+		// re-panicking the lowest-index failure keeps the report as
+		// deterministic as the failure allows.
+		panicIdx = -1
+		panicVal any
+	)
 	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = specs[i].Run()
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if panicIdx < 0 || i < panicIdx {
+								panicIdx, panicVal = i, r
+							}
+							mu.Unlock()
+						}
+					}()
+					results[i] = runSpec(specs, i)
+				}()
 			}
 		}()
 	}
@@ -64,5 +84,24 @@ func Execute[R any](specs []Spec[R], par int) []R {
 	}
 	close(idx)
 	wg.Wait()
+	if panicIdx >= 0 {
+		// Re-panic on the caller's goroutine so the failure carries a
+		// useful stack and does not kill the process from a bare worker.
+		panic(panicVal)
+	}
 	return results
+}
+
+// runSpec executes one spec, wrapping any panic with the grid cell's
+// identity — a raw panic from deep inside a simulation otherwise gives
+// no clue which of dozens of identical-looking runs died.
+func runSpec[R any](specs []Spec[R], i int) R {
+	defer func() {
+		if r := recover(); r != nil {
+			s := specs[i]
+			panic(fmt.Sprintf("harness: spec %d (experiment=%q system=%q bench=%q footprint=%d seed=%d) panicked: %v",
+				i, s.Experiment, s.System, s.Bench, s.FootprintKB, s.Seed, r))
+		}
+	}()
+	return specs[i].Run()
 }

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -68,6 +70,63 @@ func TestConcurrencyBound(t *testing.T) {
 	Execute(specs, par)
 	if p := peak.Load(); p > par {
 		t.Errorf("peak in-flight = %d, want <= %d", p, par)
+	}
+}
+
+// catchPanic runs fn and returns the recovered panic value as a string
+// ("" if fn returned normally).
+func catchPanic(fn func()) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = fmt.Sprint(r)
+		}
+	}()
+	fn()
+	return ""
+}
+
+// TestPanicCarriesSpecIdentity: a panicking spec must surface which
+// grid cell died — a raw panic from one of dozens of identical-looking
+// simulations is undebuggable. Both the serial and parallel paths wrap.
+func TestPanicCarriesSpecIdentity(t *testing.T) {
+	mk := func() []Spec[int] {
+		specs := intSpecs(6, func(i int) int { return i })
+		specs[3] = Spec[int]{
+			Experiment: "fig6", System: "UHTM", Bench: "Echo", FootprintKB: 100, Seed: 7,
+			Run: func() int { panic("store exhausted") },
+		}
+		return specs
+	}
+	for _, par := range []int{1, 4} {
+		msg := catchPanic(func() { Execute(mk(), par) })
+		if msg == "" {
+			t.Fatalf("par=%d: panic did not propagate", par)
+		}
+		for _, want := range []string{"spec 3", "fig6", "UHTM", "Echo", "100", "seed=7", "store exhausted"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("par=%d: panic message missing %q:\n%s", par, want, msg)
+			}
+		}
+	}
+}
+
+// TestParallelPanicIsDeterministic: when several specs die, the
+// lowest-index failure is the one reported, regardless of which worker
+// hit it first.
+func TestParallelPanicIsDeterministic(t *testing.T) {
+	mk := func() []Spec[int] {
+		specs := intSpecs(8, func(i int) int { return i })
+		for _, i := range []int{2, 5, 6} {
+			i := i
+			specs[i].Run = func() int { panic(fmt.Sprintf("boom-%d", i)) }
+		}
+		return specs
+	}
+	for trial := 0; trial < 10; trial++ {
+		msg := catchPanic(func() { Execute(mk(), 4) })
+		if !strings.Contains(msg, "boom-2") || !strings.Contains(msg, "spec 2") {
+			t.Fatalf("trial %d: reported panic is not the lowest-index one:\n%s", trial, msg)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"uhtm/internal/sim"
+	"uhtm/internal/trace"
 )
 
 // LineSize is the cache-line granularity of the simulated machine.
@@ -146,6 +147,11 @@ type Store struct {
 	// mid-write.
 	crashpoint func(point string)
 
+	// tracer, when set, receives an EvNVMPersist event per durable line
+	// update; traceNow supplies the engine world's virtual time.
+	tracer   *trace.Recorder
+	traceNow func() int64
+
 	// Access counters, by kind, for bandwidth-style reporting.
 	DRAMReads, DRAMWrites uint64
 	NVMReads, NVMWrites   uint64
@@ -161,6 +167,13 @@ const PointPersistLine = "mem.persist.line"
 // the persist and may abort the simulation (sim.Engine.HaltNow); it must
 // not touch store state.
 func (s *Store) SetCrashpoint(f func(point string)) { s.crashpoint = f }
+
+// SetTracer installs (or, with nil, removes) the event recorder for
+// durability events. now supplies virtual timestamps (the owning
+// engine's current clock).
+func (s *Store) SetTracer(r *trace.Recorder, now func() int64) {
+	s.tracer, s.traceNow = r, now
+}
 
 // NewStore returns an empty store (all bytes zero) for the given config.
 func NewStore(cfg Config) *Store {
@@ -285,6 +298,9 @@ func (s *Store) PersistLine(a Addr, src *Line) {
 	}
 	if s.crashpoint != nil {
 		s.crashpoint(PointPersistLine)
+	}
+	if s.tracer != nil {
+		s.tracer.Emit(s.traceNow(), -1, trace.EvNVMPersist, 0, uint64(LineOf(a)), 0, 0)
 	}
 	la := LineOf(a)
 	l := s.durable[la]

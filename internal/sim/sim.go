@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"uhtm/internal/trace"
 )
 
 // Time is a point in (or span of) virtual time, in picoseconds. The
@@ -178,6 +180,8 @@ type Engine struct {
 	threads []*Thread
 	yieldCh chan *Thread
 	rng     *rand.Rand
+	tracer  *trace.Recorder
+	cur     *Thread
 	halted  bool
 	haltAt  Time
 	now     Time
@@ -202,6 +206,29 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Now returns the clock of the most recently scheduled thread — the
 // engine's notion of current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetTracer installs (or, with nil, removes) the engine world's event
+// recorder. Like the RNG, the recorder belongs to exactly one engine:
+// it is written only while that engine's single running thread holds
+// the execution token, so traces are deterministic and engine worlds
+// stay isolated. Install before Run.
+func (e *Engine) SetTracer(r *trace.Recorder) { e.tracer = r }
+
+// Tracer returns the engine's event recorder; nil means tracing is
+// disabled (the nil *Recorder is a valid no-op sink).
+func (e *Engine) Tracer() *trace.Recorder { return e.tracer }
+
+// CurrentClock returns the live clock of the thread currently holding
+// the execution token — finer than Now, which only advances at dispatch
+// boundaries. Instrumentation uses it to stamp events with the exact
+// virtual time a thread has accumulated mid-slice. Outside a dispatch
+// it falls back to Now.
+func (e *Engine) CurrentClock() Time {
+	if e.cur != nil && !e.cur.done {
+		return e.cur.clock
+	}
+	return e.now
+}
 
 // Spawn registers a new simulated thread. All threads must be spawned
 // before Run is called.
@@ -264,6 +291,7 @@ func (e *Engine) Run() Time {
 			break
 		}
 		e.now = t.clock
+		e.cur = t
 		e.dispatch(t)
 		if e.halted {
 			// The dispatched thread called HaltNow: unwind the rest.

@@ -68,6 +68,25 @@ type Stats struct {
 
 	SigChecks uint64 // signature probe count (bus traffic proxy)
 
+	// SigOccupancy histograms the write-signature fill ratio of
+	// overflowed transactions sampled when each finishes: bucket i
+	// covers [i*10%, (i+1)*10%). High buckets mean the configured
+	// signature size is saturating (false positives follow).
+	SigOccupancy [10]uint64
+
+	// AbortChain histograms commits by the abort-chain depth that
+	// preceded them on their core: bucket 0 = committed with no
+	// preceding abort cascade, bucket d = a chain of d cascading aborts
+	// (a victim whose aborter itself was aborted counts one deeper);
+	// bucket 7 aggregates depth >= 7. AbortChainMax is the deepest chain
+	// observed.
+	AbortChain    [8]uint64
+	AbortChainMax uint64
+
+	// SlowPathWait totals virtual time threads spent waiting on fallback
+	// locks (both pausing while a holder drains and acquiring the lock).
+	SlowPathWait sim.Time
+
 	Elapsed sim.Time // simulated wall-clock covered by this Stats
 }
 
@@ -120,6 +139,16 @@ func (s *Stats) Add(o *Stats) {
 	s.ReadLines += o.ReadLines
 	s.WriteLines += o.WriteLines
 	s.SigChecks += o.SigChecks
+	for i := range s.SigOccupancy {
+		s.SigOccupancy[i] += o.SigOccupancy[i]
+	}
+	for i := range s.AbortChain {
+		s.AbortChain[i] += o.AbortChain[i]
+	}
+	if o.AbortChainMax > s.AbortChainMax {
+		s.AbortChainMax = o.AbortChainMax
+	}
+	s.SlowPathWait += o.SlowPathWait
 	if o.Elapsed > s.Elapsed {
 		s.Elapsed = o.Elapsed
 	}
@@ -139,7 +168,13 @@ type statsJSON struct {
 	ReadLines  uint64            `json:"read_lines"`
 	WriteLines uint64            `json:"write_lines"`
 	SigChecks  uint64            `json:"sig_checks"`
-	ElapsedPS  int64             `json:"elapsed_ps"`
+
+	SigOccupancy   [10]uint64 `json:"sig_occupancy"`
+	AbortChain     [8]uint64  `json:"abort_chain"`
+	AbortChainMax  uint64     `json:"abort_chain_max"`
+	SlowPathWaitPS int64      `json:"slow_path_wait_ps"`
+
+	ElapsedPS int64 `json:"elapsed_ps"`
 }
 
 // MarshalJSON emits the named-cause wire form (see statsJSON).
@@ -151,16 +186,20 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		}
 	}
 	return json.Marshal(statsJSON{
-		Commits:    s.Commits,
-		Aborts:     s.Aborts(),
-		AbortsBy:   by,
-		AbortRate:  s.AbortRate(),
-		SlowPath:   s.SlowPath,
-		Overflows:  s.Overflows,
-		ReadLines:  s.ReadLines,
-		WriteLines: s.WriteLines,
-		SigChecks:  s.SigChecks,
-		ElapsedPS:  int64(s.Elapsed),
+		Commits:        s.Commits,
+		Aborts:         s.Aborts(),
+		AbortsBy:       by,
+		AbortRate:      s.AbortRate(),
+		SlowPath:       s.SlowPath,
+		Overflows:      s.Overflows,
+		ReadLines:      s.ReadLines,
+		WriteLines:     s.WriteLines,
+		SigChecks:      s.SigChecks,
+		SigOccupancy:   s.SigOccupancy,
+		AbortChain:     s.AbortChain,
+		AbortChainMax:  s.AbortChainMax,
+		SlowPathWaitPS: int64(s.SlowPathWait),
+		ElapsedPS:      int64(s.Elapsed),
 	})
 }
 
@@ -172,13 +211,17 @@ func (s *Stats) UnmarshalJSON(b []byte) error {
 		return err
 	}
 	*s = Stats{
-		Commits:    w.Commits,
-		SlowPath:   w.SlowPath,
-		Overflows:  w.Overflows,
-		ReadLines:  w.ReadLines,
-		WriteLines: w.WriteLines,
-		SigChecks:  w.SigChecks,
-		Elapsed:    sim.Time(w.ElapsedPS),
+		Commits:       w.Commits,
+		SlowPath:      w.SlowPath,
+		Overflows:     w.Overflows,
+		ReadLines:     w.ReadLines,
+		WriteLines:    w.WriteLines,
+		SigChecks:     w.SigChecks,
+		SigOccupancy:  w.SigOccupancy,
+		AbortChain:    w.AbortChain,
+		AbortChainMax: w.AbortChainMax,
+		SlowPathWait:  sim.Time(w.SlowPathWaitPS),
+		Elapsed:       sim.Time(w.ElapsedPS),
 	}
 	for _, c := range Causes() {
 		s.AbortsBy[c] = w.AbortsBy[c.String()]

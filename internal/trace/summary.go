@@ -1,0 +1,88 @@
+package trace
+
+// TxSummary condenses one transaction attempt's events into a row:
+// lifetime, access counts, overflow point and outcome. Each attempt has
+// a distinct TxID (the machine allocates a fresh ID per begin), so an
+// abort-retry chain appears as several summaries sharing a core with
+// increasing Attempt numbers.
+type TxSummary struct {
+	ID       uint64
+	Core     int
+	Domain   int
+	Attempt  int
+	SlowPath bool
+
+	Start int64 // ps
+	End   int64 // ps; Start when the trace ended mid-flight
+
+	Reads      int
+	Writes     int
+	WALAppends int
+
+	Overflowed bool
+	OverflowTS int64
+
+	Committed bool
+	// CauseCode is the numeric abort cause (stats.AbortCause) when the
+	// attempt aborted; callers map it to a name.
+	CauseCode uint64
+	Enemy     uint64 // aborting transaction's ID, 0 if none
+	EnemyCore int    // -1 if none
+}
+
+// Summarize folds an event log into per-transaction summaries, in
+// transaction begin order. Transactions still in flight when the log
+// ends (e.g. at an injected crash) are reported with End = Start of
+// their latest event and neither Committed nor CauseCode set.
+func Summarize(events []Event) []TxSummary {
+	byID := make(map[uint64]*TxSummary)
+	var order []uint64
+	for i := range events {
+		e := &events[i]
+		if e.Kind == EvTxBegin {
+			byID[e.TxID] = &TxSummary{
+				ID:        e.TxID,
+				Core:      int(e.Core),
+				Domain:    int(e.Arg2 >> 1),
+				Attempt:   int(e.Arg),
+				SlowPath:  e.Arg2&1 != 0,
+				Start:     e.TS,
+				End:       e.TS,
+				EnemyCore: -1,
+			}
+			order = append(order, e.TxID)
+			continue
+		}
+		s := byID[e.TxID]
+		if s == nil {
+			continue // event outside any traced transaction
+		}
+		if e.TS > s.End {
+			s.End = e.TS
+		}
+		switch e.Kind {
+		case EvTxRead:
+			s.Reads++
+		case EvTxWrite:
+			s.Writes++
+		case EvTxOverflow:
+			if !s.Overflowed {
+				s.Overflowed = true
+				s.OverflowTS = e.TS
+			}
+		case EvWALAppend:
+			s.WALAppends++
+		case EvTxAbort:
+			s.CauseCode = e.Arg
+			s.Enemy = e.Arg2
+			s.EnemyCore = int(e.Addr) - 1
+		case EvTxCommitDone:
+			s.Committed = true
+		}
+	}
+	out := make([]TxSummary, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"uhtm/internal/mem"
+	"uhtm/internal/trace"
 )
 
 // RecordType tags a log record.
@@ -171,6 +172,12 @@ type Log struct {
 	// simulation between any two protocol steps.
 	hook func(point string)
 
+	// tracer, when set, receives append/truncate events; traceNow
+	// supplies virtual timestamps and ringCore identifies the ring.
+	tracer   *trace.Recorder
+	traceNow func() int64
+	ringCore int
+
 	// Appends counts records written since creation (statistics).
 	Appends uint64
 }
@@ -209,6 +216,22 @@ func (l *Log) hit(suffix string) {
 
 // SetCrashpoint installs (or removes) the ring's crash-injection hook.
 func (l *Log) SetCrashpoint(f func(point string)) { l.hook = f }
+
+// SetTracer installs (or, with nil, removes) the ring's event recorder.
+// now supplies virtual timestamps; core is the ring's index, stamped on
+// every event.
+func (l *Log) SetTracer(r *trace.Recorder, now func() int64, core int) {
+	l.tracer, l.traceNow, l.ringCore = r, now, core
+}
+
+// redoBit encodes the ring kind into trace-event Arg payloads (bit 8:
+// set for the durable NVM redo ring).
+func (l *Log) redoBit() uint64 {
+	if l.persist {
+		return 1 << 8
+	}
+	return 0
+}
 
 // NewLog returns a ring over [base, base+size) of the given store.
 // persist selects NVM durability semantics.
@@ -310,6 +333,10 @@ func (l *Log) Append(r Record) uint64 {
 	l.Appends++
 	l.hit(PointAppendCtrl)
 	l.writeCtrl()
+	if l.tracer != nil {
+		l.tracer.Emit(l.traceNow(), l.ringCore, trace.EvWALAppend,
+			r.TxID, uint64(r.Addr), uint64(r.Type)|l.redoBit(), seq)
+	}
 	return seq
 }
 
@@ -323,6 +350,10 @@ func (l *Log) Reclaim(seq uint64) {
 		l.hit(PointReclaimCtrl)
 		l.tail = seq
 		l.writeCtrl()
+		if l.tracer != nil {
+			l.tracer.Emit(l.traceNow(), l.ringCore, trace.EvWALTruncate,
+				0, 0, l.redoBit(), seq)
+		}
 	}
 }
 
@@ -454,6 +485,14 @@ func (r *Rings) ForCore(i int) *Log { return r.logs[i] }
 func (r *Rings) SetCrashpoint(f func(point string)) {
 	for _, l := range r.logs {
 		l.SetCrashpoint(f)
+	}
+}
+
+// SetTracer installs (or removes) the event recorder on every ring,
+// stamped with its core index.
+func (r *Rings) SetTracer(rec *trace.Recorder, now func() int64) {
+	for i, l := range r.logs {
+		l.SetTracer(rec, now, i)
 	}
 }
 

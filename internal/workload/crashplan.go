@@ -32,7 +32,7 @@ func RunCrashSweep(opt RunOptions) (*stats.Table, []Result, error) {
 
 	small := crash.SmallWorkload()
 	large := crash.LargeWorkload()
-	if opt.Seed != 0 {
+	if opt.seedOverride() {
 		small.Seed = opt.Seed
 		large.Seed = opt.Seed
 	}

@@ -10,6 +10,7 @@ import (
 	"uhtm/internal/mem"
 	"uhtm/internal/sim"
 	"uhtm/internal/stats"
+	"uhtm/internal/trace"
 	"uhtm/internal/txds"
 )
 
@@ -62,6 +63,10 @@ type Config struct {
 	// non-nil (tests use a shrunken hierarchy). Cores is always derived
 	// from the thread count.
 	Geometry *mem.Config
+
+	// Trace attaches an event recorder to the run's engine; the full
+	// stream comes back in Result.TraceEvents.
+	Trace bool
 }
 
 // DefaultConfig is the Figure 6 shape: four instances of four threads,
@@ -95,6 +100,11 @@ type Result struct {
 	Stats       stats.Stats
 	Elapsed     sim.Time      // simulated wall-clock of the run
 	Wall        time.Duration // host wall-clock spent simulating
+
+	// TraceEvents is the run's full event stream when Config.Trace was
+	// set, nil otherwise. It is deliberately absent from the JSON record
+	// (see resultJSON): traces go to their own file in Chrome format.
+	TraceEvents []trace.Event
 
 	// Crash-sweep runs only (see RunCrashSweep): the injected crash
 	// point, its 1-based visit index, and the recovery verdict ("ok" or
@@ -188,6 +198,9 @@ func machineFor(spec SystemSpec, cfg Config, extraThreads int) (*sim.Engine, *co
 	}
 	mc.Cores = cfg.Instances*cfg.ThreadsPerInstance + cfg.MemApps + extraThreads
 	eng := sim.NewEngine(cfg.Seed)
+	if cfg.Trace {
+		eng.SetTracer(trace.NewRecorder())
+	}
 	return eng, core.NewMachine(eng, mc, spec.Opts)
 }
 
@@ -329,6 +342,7 @@ func collect(spec SystemSpec, b Bench, m *core.Machine, cfg Config, threads []*s
 		Seed:        cfg.Seed,
 		Stats:       agg,
 		Elapsed:     elapsed,
+		TraceEvents: m.TraceEvents(),
 	}
 }
 

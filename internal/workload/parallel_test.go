@@ -3,6 +3,7 @@ package workload
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"uhtm/internal/harness"
@@ -134,7 +135,7 @@ func TestResultJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	back.Wall = r.Wall // wall_ms round-trips at ms resolution only
-	if back != r {
+	if !reflect.DeepEqual(back, r) {
 		t.Errorf("round-trip mismatch:\n in  %+v\n out %+v", r, back)
 	}
 }

@@ -14,18 +14,28 @@ import (
 type RunOptions struct {
 	// Scale multiplies per-thread op counts (1.0 = full-size run).
 	Scale float64
-	// Seed, when non-zero, overrides every run's Config.Seed (the
-	// per-experiment default is 42).
+	// Seed overrides every run's Config.Seed (the per-experiment default
+	// is 42) when it is non-zero or SeedSet is true.
 	Seed int64
+	// SeedSet marks Seed as explicitly chosen, so that seed 0 — a
+	// perfectly good seed — is distinguishable from "no override".
+	SeedSet bool
 	// Par bounds how many simulations run concurrently; 0 = GOMAXPROCS.
 	Par int
+	// Trace attaches a trace.Recorder to every run's engine; each
+	// Result then carries the run's full event stream in TraceEvents.
+	Trace bool
 }
 
-// seeded applies the seed override to a run config.
+// seedOverride reports whether the options carry an explicit seed.
+func (o RunOptions) seedOverride() bool { return o.SeedSet || o.Seed != 0 }
+
+// seeded applies the seed override and trace flag to a run config.
 func (o RunOptions) seeded(c Config) Config {
-	if o.Seed != 0 {
+	if o.seedOverride() {
 		c.Seed = o.Seed
 	}
+	c.Trace = o.Trace
 	return c
 }
 
