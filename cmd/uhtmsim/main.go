@@ -7,6 +7,7 @@
 //	uhtmsim [-scale f] [-seed n] [-par n] [-json path] [-trace path] <experiment>
 //	uhtmsim -crash [-scale f] [-seed n] [-par n] [-json path]
 //	uhtmsim trace-summary <trace.json>
+//	uhtmsim bench [-out path] [-compare baseline.json] [-tol f]
 //
 // where experiment is one of: table3, fig2, fig6, fig7, fig8, fig9a,
 // fig9b, fig10, ablate, all. (The authoritative list — including
@@ -55,6 +56,7 @@ import (
 	"sort"
 	"time"
 
+	"uhtm/internal/bench"
 	"uhtm/internal/stats"
 	"uhtm/internal/trace"
 	"uhtm/internal/workload"
@@ -93,6 +95,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			return 2
 		}
 		return traceSummary(stdout, stderr, fs.Arg(1))
+	}
+
+	if fs.NArg() > 0 && fs.Arg(0) == "bench" {
+		return benchCmd(fs.Args()[1:], stdout, stderr)
 	}
 
 	if want := 1 - b2i(*crashSweep); fs.NArg() != want {
@@ -366,6 +372,88 @@ func runCrash(out io.Writer, opt workload.RunOptions, enc *json.Encoder) (int, e
 	return fails, nil
 }
 
+// benchCmd runs the shared benchmark suite (internal/bench) and writes
+// one machine-readable BENCH_<n>.json document: per-benchmark ns/op,
+// allocs/op, bytes/op and the headline custom metrics. With -compare it
+// additionally gates allocs/op against a committed baseline (exit 1 on
+// regression beyond -tol); ns/op drift is reported but never fails,
+// because wall-clock on shared runners is machine-dependent.
+func benchCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("uhtmsim bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "output path (default: first free BENCH_<n>.json in the current directory)")
+	baseline := fs.String("compare", "", "baseline BENCH_<n>.json to gate allocs/op against")
+	tol := fs.Float64("tol", 0.25, "relative regression tolerance for -compare")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: uhtmsim bench [-out path] [-compare baseline.json] [-tol f]")
+		return 2
+	}
+
+	path := *out
+	if path == "" {
+		for n := 0; ; n++ {
+			path = fmt.Sprintf("BENCH_%d.json", n)
+			if _, err := os.Stat(path); os.IsNotExist(err) {
+				break
+			}
+		}
+	}
+
+	f, err := bench.RunSuite(func(format string, a ...any) {
+		fmt.Fprintf(stdout, format+"\n", a...)
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
+		return 1
+	}
+	w, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
+		return 1
+	}
+	if err := f.Write(w); err == nil {
+		err = w.Close()
+	} else {
+		w.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "uhtmsim: writing %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", path, len(f.Suite))
+
+	if *baseline == "" {
+		return 0
+	}
+	bf, err := os.Open(*baseline)
+	if err != nil {
+		fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
+		return 1
+	}
+	base, err := bench.Read(bf)
+	bf.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "uhtmsim: reading baseline %s: %v\n", *baseline, err)
+		return 1
+	}
+	failures, notes := bench.Compare(base, f, *tol)
+	for _, n := range notes {
+		fmt.Fprintf(stdout, "note: %s\n", n)
+	}
+	for _, fl := range failures {
+		fmt.Fprintf(stderr, "FAIL %s\n", fl)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(stderr, "uhtmsim: %d benchmark regression(s) vs %s\n", len(failures), *baseline)
+		return 1
+	}
+	fmt.Fprintf(stdout, "no regressions vs %s (tol %.0f%%)\n", *baseline, 100**tol)
+	return 0
+}
+
 func b2i(b bool) int {
 	if b {
 		return 1
@@ -377,6 +465,7 @@ func usage(fs *flag.FlagSet, w io.Writer) {
 	fmt.Fprintf(w, `usage: uhtmsim [-scale f] [-seed n] [-par n] [-json path] [-trace path] <experiment>
        uhtmsim -crash [-scale f] [-seed n] [-par n] [-json path]
        uhtmsim trace-summary <trace.json>
+       uhtmsim bench [-out path] [-compare baseline.json] [-tol f]
 
 experiments:
   table3   simulation configuration (Table III)

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// Schema identifies the BENCH_<n>.json format; bump on incompatible
+// changes.
+const Schema = "uhtm-bench/1"
+
+// Record is one benchmark's measurement in a BENCH_<n>.json file.
+type Record struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Metrics carries the custom b.ReportMetric values (e.g.
+	// "skiplist-slowdown-x"). encoding/json sorts map keys, so the file
+	// bytes are deterministic.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the whole BENCH_<n>.json document.
+type File struct {
+	Schema string   `json:"schema"`
+	Go     string   `json:"go"`
+	Suite  []Record `json:"suite"`
+}
+
+// RunSuite executes every spec via testing.Benchmark and collects one
+// record per spec. logf (may be nil) receives one progress line per
+// benchmark. A benchmark that fails (b.Fatal, missing grid cell, zero
+// baseline) yields r.N == 0 and makes RunSuite return an error naming
+// it — a bench run must never silently emit a half-empty baseline.
+func RunSuite(logf func(format string, args ...any)) (File, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	f := File{Schema: Schema, Go: runtime.Version()}
+	for _, s := range Specs() {
+		r := testing.Benchmark(s.Fn)
+		if r.N == 0 {
+			return f, fmt.Errorf("benchmark %s failed", s.Name)
+		}
+		rec := Record{
+			Name:        s.Name,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			rec.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				rec.Metrics[k] = v
+			}
+		}
+		logf("%-16s %4d iters  %14.0f ns/op  %12d allocs/op", rec.Name, rec.Iters, rec.NsPerOp, rec.AllocsPerOp)
+		f.Suite = append(f.Suite, rec)
+	}
+	return f, nil
+}
+
+// Write emits the file as indented, deterministic JSON.
+func (f File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Read parses a BENCH_<n>.json document and validates its schema tag.
+func Read(r io.Reader) (File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return f, err
+	}
+	if f.Schema != Schema {
+		return f, fmt.Errorf("bench file schema %q, want %q", f.Schema, Schema)
+	}
+	return f, nil
+}
+
+// allocSlack absorbs run-to-run noise in absolute allocation counts
+// (goroutine bookkeeping, one-off map growth): a benchmark only fails
+// the gate when it exceeds the baseline by the relative tolerance AND
+// by more than this many allocations per op.
+const allocSlack = 64
+
+// Compare checks cur against base. It returns hard failures — a
+// benchmark missing from cur, or allocs/op beyond base*(1+tol) plus an
+// absolute slack — and informational notes (ns/op drift beyond tol,
+// benchmarks with no baseline). Allocation counts are the gate because
+// they are machine-independent; wall-clock on shared CI runners is not.
+func Compare(base, cur File, tol float64) (failures, notes []string) {
+	curBy := make(map[string]Record, len(cur.Suite))
+	for _, r := range cur.Suite {
+		curBy[r.Name] = r
+	}
+	baseNames := make(map[string]bool, len(base.Suite))
+	for _, b := range base.Suite {
+		baseNames[b.Name] = true
+		c, ok := curBy[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		limit := float64(b.AllocsPerOp)*(1+tol) + allocSlack
+		if float64(c.AllocsPerOp) > limit {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d exceeds baseline %d by more than %.0f%% (+%d slack)",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp, 100*tol, allocSlack))
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tol) {
+			notes = append(notes, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (informational: wall-clock is machine-dependent)",
+				b.Name, c.NsPerOp, b.NsPerOp))
+		}
+	}
+	for _, c := range cur.Suite {
+		if !baseNames[c.Name] {
+			notes = append(notes, fmt.Sprintf("%s: no baseline (new benchmark)", c.Name))
+		}
+	}
+	return failures, notes
+}

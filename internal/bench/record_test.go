@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func rec(name string, allocs int64, ns float64) Record {
+	return Record{Name: name, Iters: 1, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+// TestCompareGatesOnAllocs: the regression gate fires on allocs/op
+// beyond tolerance+slack, treats ns/op drift as informational only,
+// and fails hard on benchmarks missing from the current run.
+func TestCompareGatesOnAllocs(t *testing.T) {
+	base := File{Schema: Schema, Suite: []Record{
+		rec("steady", 1000, 100),
+		rec("regressed", 1000, 100),
+		rec("slower", 1000, 100),
+		rec("gone", 10, 10),
+		rec("tiny", 0, 10), // slack absorbs small absolute growth
+	}}
+	cur := File{Schema: Schema, Suite: []Record{
+		rec("steady", 1100, 100),    // +10% < 25% tolerance
+		rec("regressed", 2000, 100), // +100% allocs: hard failure
+		rec("slower", 1000, 1000),   // 10x slower, same allocs: note only
+		rec("tiny", 50, 10),         // below the absolute slack
+		rec("fresh", 5, 5),          // no baseline: note only
+	}}
+	failures, notes := Compare(base, cur, 0.25)
+	if len(failures) != 2 {
+		t.Fatalf("got %d failures %v, want 2", len(failures), failures)
+	}
+	if !strings.Contains(failures[0], "regressed") || !strings.Contains(failures[1], "gone") {
+		t.Errorf("unexpected failures: %v", failures)
+	}
+	var slower, fresh bool
+	for _, n := range notes {
+		slower = slower || strings.Contains(n, "slower")
+		fresh = fresh || strings.Contains(n, "fresh")
+		if strings.Contains(n, "steady") || strings.Contains(n, "tiny") {
+			t.Errorf("in-tolerance benchmark flagged: %q", n)
+		}
+	}
+	if !slower || !fresh {
+		t.Errorf("expected notes for slower and fresh, got %v", notes)
+	}
+}
+
+// TestFileRoundTrip: Write then Read reproduces the document, and the
+// bytes are deterministic (map keys sorted by encoding/json).
+func TestFileRoundTrip(t *testing.T) {
+	f := File{Schema: Schema, Go: "go0.0", Suite: []Record{{
+		Name: "X", Iters: 3, NsPerOp: 1.5, AllocsPerOp: 7, BytesPerOp: 9,
+		Metrics: map[string]float64{"b-metric": 2, "a-metric": 1},
+	}}}
+	var w1, w2 bytes.Buffer
+	if err := f.Write(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Error("two renders differ")
+	}
+	got, err := Read(&w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Suite[0].Name != "X" || got.Suite[0].Metrics["a-metric"] != 1 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+}
+
+// TestReadRejectsWrongSchema: an unrelated JSON document is an error,
+// not an empty baseline that would vacuously pass every gate.
+func TestReadRejectsWrongSchema(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"schema":"other/9"}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, err := Read(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}

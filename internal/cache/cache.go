@@ -23,17 +23,17 @@ type Eviction struct {
 // EvictFunc is called for each line displaced by an Insert.
 type EvictFunc func(Eviction)
 
-type line struct {
-	addr  mem.Addr
-	valid bool
-	dirty bool
-	used  uint64 // LRU stamp
-}
-
-// Cache is one level of the hierarchy.
+// Cache is one level of the hierarchy. Ways are stored as parallel flat
+// arrays indexed set*ways+way: tags holds the line address with bit 0
+// set as a validity marker (line addresses are 64-byte aligned, so bit
+// 0 is free; tag 0 means invalid — this also disambiguates line
+// address 0, which is a real DRAM line). used holds LRU stamps and
+// dirty the write-back bits.
 type Cache struct {
 	name    string
-	sets    [][]line
+	tags    []uint64
+	used    []uint64
+	dirty   []bool
 	numSets int
 	ways    int
 	tick    uint64
@@ -58,12 +58,16 @@ func New(name string, size, ways int, onEvict EvictFunc) *Cache {
 	if numSets&(numSets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, numSets))
 	}
-	sets := make([][]line, numSets)
-	backing := make([]line, numSets*ways)
-	for i := range sets {
-		sets[i] = backing[i*ways : (i+1)*ways]
+	n := numSets * ways
+	return &Cache{
+		name:    name,
+		tags:    make([]uint64, n),
+		used:    make([]uint64, n),
+		dirty:   make([]bool, n),
+		numSets: numSets,
+		ways:    ways,
+		onEvict: onEvict,
 	}
-	return &Cache{name: name, sets: sets, numSets: numSets, ways: ways, onEvict: onEvict}
 }
 
 // Name returns the cache's label.
@@ -75,20 +79,35 @@ func (c *Cache) Ways() int { return c.ways }
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return c.numSets }
 
-func (c *Cache) set(a mem.Addr) []line {
-	idx := int((a / mem.LineSize)) & (c.numSets - 1)
-	return c.sets[idx]
+// base returns the first way index of a's set.
+func (c *Cache) base(a mem.Addr) int {
+	return (int(a/mem.LineSize) & (c.numSets - 1)) * c.ways
 }
 
-func (c *Cache) find(a mem.Addr) *line {
-	la := mem.LineOf(a)
-	s := c.set(la)
-	for i := range s {
-		if s[i].valid && s[i].addr == la {
-			return &s[i]
+// find returns the way index holding a's line, or -1.
+func (c *Cache) find(a mem.Addr) int {
+	tag := uint64(mem.LineOf(a)) | 1
+	b := c.base(a)
+	for i := b; i < b+c.ways; i++ {
+		if c.tags[i] == tag {
+			return i
 		}
 	}
-	return nil
+	return -1
+}
+
+// FindWay returns the flat way index (set*ways + way) holding a's line,
+// or -1. It lets callers keep per-line metadata in arrays parallel to
+// the cache's ways instead of in side maps. During an onEvict callback
+// the victim is still findable — it is overwritten only after the
+// callback returns.
+func (c *Cache) FindWay(a mem.Addr) int { return c.find(a) }
+
+// WayLine reports the line address held by flat way index i and whether
+// that way is valid.
+func (c *Cache) WayLine(i int) (mem.Addr, bool) {
+	t := c.tags[i]
+	return mem.Addr(t &^ 1), t != 0
 }
 
 // SetLookupHook installs (or, with nil, removes) an observer for Lookup
@@ -98,9 +117,9 @@ func (c *Cache) SetLookupHook(f func(addr mem.Addr, hit bool)) { c.onLookup = f 
 // Lookup reports whether the line containing a is present, refreshing
 // its LRU position on a hit and updating hit/miss counters.
 func (c *Cache) Lookup(a mem.Addr) bool {
-	if l := c.find(a); l != nil {
+	if i := c.find(a); i >= 0 {
 		c.tick++
-		l.used = c.tick
+		c.used[i] = c.tick
 		c.Hits++
 		if c.onLookup != nil {
 			c.onLookup(mem.LineOf(a), true)
@@ -115,12 +134,12 @@ func (c *Cache) Lookup(a mem.Addr) bool {
 }
 
 // Contains reports presence without touching LRU state or counters.
-func (c *Cache) Contains(a mem.Addr) bool { return c.find(a) != nil }
+func (c *Cache) Contains(a mem.Addr) bool { return c.find(a) >= 0 }
 
 // Dirty reports whether the line containing a is present and dirty.
 func (c *Cache) Dirty(a mem.Addr) bool {
-	l := c.find(a)
-	return l != nil && l.dirty
+	i := c.find(a)
+	return i >= 0 && c.dirty[i]
 }
 
 // Insert brings the line containing a into the cache (most recently
@@ -128,34 +147,36 @@ func (c *Cache) Dirty(a mem.Addr) bool {
 // line just refreshes LRU. The victim, if any, is reported to onEvict.
 func (c *Cache) Insert(a mem.Addr) {
 	la := mem.LineOf(a)
-	if l := c.find(la); l != nil {
+	if i := c.find(la); i >= 0 {
 		c.tick++
-		l.used = c.tick
+		c.used[i] = c.tick
 		return
 	}
-	s := c.set(la)
-	victim := &s[0]
-	for i := range s {
-		if !s[i].valid {
-			victim = &s[i]
+	b := c.base(la)
+	victim := b
+	for i := b; i < b+c.ways; i++ {
+		if c.tags[i] == 0 {
+			victim = i
 			break
 		}
-		if s[i].used < victim.used {
-			victim = &s[i]
+		if c.used[i] < c.used[victim] {
+			victim = i
 		}
 	}
-	if victim.valid && c.onEvict != nil {
-		c.onEvict(Eviction{Addr: victim.addr, Dirty: victim.dirty})
+	if c.tags[victim] != 0 && c.onEvict != nil {
+		c.onEvict(Eviction{Addr: mem.Addr(c.tags[victim] &^ 1), Dirty: c.dirty[victim]})
 	}
 	c.tick++
-	*victim = line{addr: la, valid: true, used: c.tick}
+	c.tags[victim] = uint64(la) | 1
+	c.used[victim] = c.tick
+	c.dirty[victim] = false
 }
 
 // MarkDirty sets the dirty bit of a present line; it reports whether the
 // line was present.
 func (c *Cache) MarkDirty(a mem.Addr) bool {
-	if l := c.find(a); l != nil {
-		l.dirty = true
+	if i := c.find(a); i >= 0 {
+		c.dirty[i] = true
 		return true
 	}
 	return false
@@ -163,8 +184,8 @@ func (c *Cache) MarkDirty(a mem.Addr) bool {
 
 // CleanLine clears the dirty bit (after a write-back) of a present line.
 func (c *Cache) CleanLine(a mem.Addr) {
-	if l := c.find(a); l != nil {
-		l.dirty = false
+	if i := c.find(a); i >= 0 {
+		c.dirty[i] = false
 	}
 }
 
@@ -172,9 +193,11 @@ func (c *Cache) CleanLine(a mem.Addr) {
 // caller decides what to do with its contents). It reports whether the
 // line was present and whether it was dirty.
 func (c *Cache) Invalidate(a mem.Addr) (present, dirty bool) {
-	if l := c.find(a); l != nil {
-		present, dirty = true, l.dirty
-		*l = line{}
+	if i := c.find(a); i >= 0 {
+		present, dirty = true, c.dirty[i]
+		c.tags[i] = 0
+		c.used[i] = 0
+		c.dirty[i] = false
 	}
 	return
 }
@@ -182,11 +205,9 @@ func (c *Cache) Invalidate(a mem.Addr) (present, dirty bool) {
 // ForEach visits every valid line (set order, way order). The callback
 // must not mutate the cache.
 func (c *Cache) ForEach(fn func(addr mem.Addr, dirty bool)) {
-	for _, s := range c.sets {
-		for i := range s {
-			if s[i].valid {
-				fn(s[i].addr, s[i].dirty)
-			}
+	for i, tag := range c.tags {
+		if tag != 0 {
+			fn(mem.Addr(tag&^1), c.dirty[i])
 		}
 	}
 }
@@ -194,11 +215,9 @@ func (c *Cache) ForEach(fn func(addr mem.Addr, dirty bool)) {
 // Len returns the number of valid lines.
 func (c *Cache) Len() int {
 	n := 0
-	for _, s := range c.sets {
-		for i := range s {
-			if s[i].valid {
-				n++
-			}
+	for _, tag := range c.tags {
+		if tag != 0 {
+			n++
 		}
 	}
 	return n
@@ -206,10 +225,8 @@ func (c *Cache) Len() int {
 
 // Reset empties the cache and clears counters.
 func (c *Cache) Reset() {
-	for _, s := range c.sets {
-		for i := range s {
-			s[i] = line{}
-		}
-	}
+	clear(c.tags)
+	clear(c.used)
+	clear(c.dirty)
 	c.tick, c.Hits, c.Misses = 0, 0, 0
 }

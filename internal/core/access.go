@@ -69,7 +69,7 @@ func (m *Machine) accessEx(th *sim.Thread, core int, tx *Tx, a mem.Addr, write, 
 			dcs = m.dir.CheckRead(la, selfID)
 		}
 		for _, c := range dcs {
-			if v := m.active[c.With]; v != nil {
+			if v := m.txByID(c.With); v != nil {
 				victims = append(victims, victim{tx: v, cause: stats.CauseTrueConflict})
 			}
 		}
@@ -84,7 +84,7 @@ func (m *Machine) accessEx(th *sim.Thread, core int, tx *Tx, a mem.Addr, write, 
 		// Only LLC-missed requests reach the memory-bus signatures,
 		// plus lines whose directory entry carries the sticky
 		// check-signatures bit (set when a fill matched a signature).
-		probe = !llcResident || m.sticky[la]
+		probe = !llcResident || m.stickyHas(la)
 	}
 	if probe {
 		vs, matched := m.probeOffChip(core, la, tx, domain, write)
@@ -273,7 +273,7 @@ func (m *Machine) resolve(tx *Tx, victims []victim, onChip bool) {
 		}
 	}
 	if selfAbort {
-		panic(txAbort{cause: selfCause, enemyID: enemy.id, enemyCore: enemy.core})
+		tx.unwind(selfCause, enemy.id, enemy.core)
 	}
 	for _, v := range victims {
 		if v.tx.status.abortFlag || v.tx.slowPath {
@@ -314,14 +314,15 @@ func (m *Machine) paranoidCheck(tx *Tx, la mem.Addr, write bool) {
 		if other.status.abortFlag {
 			continue // already aborted, footprint dead
 		}
-		if other.writeLines.Contains(la) || (write && other.readLines.Contains(la)) {
+		of := other.flagsOf(la)
+		if of&fWrite != 0 || (write && of&fRead != 0) {
 			reqID := uint64(0)
 			if tx != nil {
 				reqID = tx.id
 			}
 			panic(fmt.Sprintf("core: missed conflict on %#x between requester tx %d and tx %d (detect=%v, resident=%v, sticky=%v, otherOvf=%v, otherWsig=%v)",
 				uint64(la), reqID, other.id, m.opts.Detect,
-				m.llc.Contains(la), m.sticky[la], other.status.overflowed,
+				m.llc.Contains(la), m.stickyHas(la), other.status.overflowed,
 				other.sig.Write.MayContain(la)))
 		}
 	}
@@ -359,7 +360,7 @@ func (m *Machine) walk(th *sim.Thread, core int, la mem.Addr, tx *Tx, write, str
 				// Lazy (redo) DRAM versioning pays a log indirection to
 				// find the new value of an overflowed line (Fig. 4b).
 				if m.opts.DRAMLog == DRAMRedo && tx != nil {
-					if _, ovf := tx.overflowedDRAM[la]; ovf {
+					if tx.flagsOf(la)&fOvfDRAM != 0 {
 						fillLat += cfg.DRAMLatency
 					}
 				}
@@ -404,8 +405,12 @@ func (m *Machine) onL1Evict(core int, e cache.Eviction) {
 		m.llc.MarkDirty(e.Addr)
 	}
 	if owner, _ := m.dir.TxInfo(e.Addr); owner != 0 {
-		if t := m.active[owner]; t != nil {
-			t.overflowList[e.Addr] = struct{}{}
+		if t := m.txByID(owner); t != nil {
+			p, o := t.slot(e.Addr)
+			if p.flags[o]&fOvfList == 0 {
+				p.flags[o] |= fOvfList
+				t.ovfListCount++
+			}
 		}
 	}
 }
@@ -419,7 +424,7 @@ func (m *Machine) onLLCEvict(e cache.Eviction) {
 // evictionPending reports whether la is an LLC victim queued for
 // drainEvictions — already off-chip for tracking purposes.
 func (m *Machine) evictionPending(la mem.Addr) bool {
-	for _, e := range m.pendingEvicts {
+	for _, e := range m.pendingEvicts[m.evictHead:] {
 		if e.Addr == la {
 			return true
 		}
@@ -431,9 +436,9 @@ func (m *Machine) evictionPending(la mem.Addr) bool {
 // L1 copies, write-back of dirty data, and the transaction-overflow
 // machinery of Section IV-B.
 func (m *Machine) drainEvictions(requester *Tx) {
-	for len(m.pendingEvicts) > 0 {
-		e := m.pendingEvicts[0]
-		m.pendingEvicts = m.pendingEvicts[1:]
+	for m.evictHead < len(m.pendingEvicts) {
+		e := m.pendingEvicts[m.evictHead]
+		m.evictHead++
 		la := e.Addr
 		// Inclusive LLC: drop L1 copies.
 		for _, l1 := range m.l1 {
@@ -457,16 +462,19 @@ func (m *Machine) drainEvictions(requester *Tx) {
 			// DRAM data: the live image is already current.
 		}
 		for _, sh := range sharers {
-			if t := m.active[sh]; t != nil && !t.status.abortFlag {
+			if t := m.txByID(sh); t != nil && !t.status.abortFlag {
 				m.overflowRead(t, la, requester)
 			}
 		}
 		if owner != 0 {
-			if t := m.active[owner]; t != nil && !t.status.abortFlag {
+			if t := m.txByID(owner); t != nil && !t.status.abortFlag {
 				m.overflowWrite(t, la, requester)
 			}
 		}
 	}
+	// Fully drained: rewind the queue so its capacity is reused.
+	m.pendingEvicts = m.pendingEvicts[:0]
+	m.evictHead = 0
 }
 
 // overflowRead moves a transactional read of la from directory tracking
@@ -505,14 +513,19 @@ func (m *Machine) overflowWrite(t *Tx, la mem.Addr, requester *Tx) {
 	}
 	m.markOverflowed(t)
 	t.sig.AddWrite(la)
-	if _, seen := t.overflowedDRAM[la]; seen {
+	p, o := t.slot(la)
+	if p.flags[o]&fOvfDRAM != 0 {
 		return
 	}
 	switch mem.KindOf(la) {
 	case mem.DRAM:
-		t.overflowedDRAM[la] = struct{}{}
+		p.flags[o] |= fOvfDRAM
+		t.ovfDRAMCount++
 		if m.opts.DRAMLog == DRAMUndo {
-			old := t.undoImages[la]
+			var old mem.Line
+			if p.flags[o]&fUndo != 0 {
+				old = t.undo[p.undoIdx[o]].img
+			}
 			m.undoRings.ForCore(t.core).Append(walWrite(t.id, la, old))
 		}
 		// DRAMRedo: the new value notionally stays in the log; reads pay
@@ -569,12 +582,19 @@ func (m *Machine) track(tx *Tx, la mem.Addr, write bool) {
 		m.emit(k, tx.core, tx.id, la, 0, 0)
 	}
 	if write {
-		if _, ok := tx.undoImages[la]; !ok {
-			tx.undoImages[la] = m.store.PeekLine(la)
+		p, o := tx.slot(la)
+		if p.flags[o]&fUndo == 0 {
+			p.flags[o] |= fUndo
+			p.undoIdx[o] = int32(len(tx.undo))
+			tx.undo = append(tx.undo, undoEnt{la: la, img: m.store.PeekLine(la)})
 		}
-		tx.writeLines.Insert(la)
-		if mem.KindOf(la) == mem.NVM {
-			tx.nvmWrites[la] = struct{}{}
+		if p.flags[o]&fWrite == 0 {
+			p.flags[o] |= fWrite
+			tx.writeList = append(tx.writeList, la)
+		}
+		if mem.KindOf(la) == mem.NVM && p.flags[o]&fNVMWrite == 0 {
+			p.flags[o] |= fNVMWrite
+			tx.nvmList = append(tx.nvmList, la)
 		}
 		if m.usesDirectory() || tx.slowPath {
 			m.dir.AddWrite(la, tx.id)
@@ -583,7 +603,11 @@ func (m *Machine) track(tx *Tx, la mem.Addr, write bool) {
 			tx.sig.AddWrite(la)
 		}
 	} else {
-		tx.readLines.Insert(la)
+		p, o := tx.slot(la)
+		if p.flags[o]&fRead == 0 {
+			p.flags[o] |= fRead
+			tx.readCount++
+		}
 		if m.usesDirectory() || tx.slowPath {
 			m.dir.AddRead(la, tx.id)
 		}
@@ -593,12 +617,26 @@ func (m *Machine) track(tx *Tx, la mem.Addr, write bool) {
 	}
 }
 
+// stickyHas reports whether la carries the sticky check-signatures bit.
+func (m *Machine) stickyHas(la mem.Addr) bool {
+	if !m.stickyAny {
+		return false
+	}
+	idx := mem.LineIndex(la)
+	p := m.stickyPages[idx>>mem.PageShift]
+	return p != nil && p.gen[idx&(mem.PageLines-1)] == m.stickyGen
+}
+
 // stickySet marks a line as requiring signature checks while on-chip.
 func (m *Machine) stickySet(la mem.Addr) {
-	if m.sticky == nil {
-		m.sticky = make(map[mem.Addr]bool)
+	idx := mem.LineIndex(la)
+	p := m.stickyPages[idx>>mem.PageShift]
+	if p == nil {
+		p = new(stickyPage)
+		m.stickyPages[idx>>mem.PageShift] = p
 	}
-	m.sticky[la] = true
+	p.gen[idx&(mem.PageLines-1)] = m.stickyGen
+	m.stickyAny = true
 }
 
 // statsFor returns the per-domain counters (machine-wide stats update on

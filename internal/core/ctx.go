@@ -93,9 +93,9 @@ func (m *Machine) runBody(tx *Tx, body func(*Tx)) (ab *txAbort) {
 		if r == nil {
 			return
 		}
-		if a, ok := r.(txAbort); ok {
-			m.finishAbort(tx, a)
-			ab = &a
+		if a, ok := r.(*txAbort); ok {
+			m.finishAbort(tx, *a)
+			ab = a
 			return
 		}
 		panic(r)

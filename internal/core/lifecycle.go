@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"uhtm/internal/coherence"
 	"uhtm/internal/mem"
@@ -21,31 +21,33 @@ func walWrite(txID uint64, la mem.Addr, data mem.Line) wal.Record {
 const beginCost = 5 * 1000 // 5ns in picoseconds
 
 // begin allocates a transaction ID (the monotonically increasing global
-// counter of Section IV-C), registers the TSS entry, and hands out the
-// live Tx.
+// counter of Section IV-C), resets the core's pooled Tx and its TSS
+// entry, and hands out the live Tx.
 func (m *Machine) begin(c *Ctx, attempt int, slow bool) *Tx {
 	m.txCounter++
 	id := m.txCounter
-	st := &txStatus{id: id, core: c.core, domain: c.domain, slowPath: slow, abortEnemyCore: -1}
-	tx := &Tx{
-		m:              m,
-		th:             c.th,
-		id:             id,
-		core:           c.core,
-		domain:         c.domain,
-		status:         st,
-		sig:            signature.NewPair(m.opts.SigBits),
-		readLines:      signature.NewSet(),
-		writeLines:     signature.NewSet(),
-		undoImages:     make(map[mem.Addr]mem.Line),
-		overflowList:   make(map[mem.Addr]struct{}),
-		overflowedDRAM: make(map[mem.Addr]struct{}),
-		nvmWrites:      make(map[mem.Addr]struct{}),
-		attempt:        attempt,
-		slowPath:       slow,
+	tx := m.txPool[c.core]
+	if tx == nil {
+		tx = &Tx{
+			m:     m,
+			core:  c.core,
+			sig:   signature.NewPair(m.opts.SigBits),
+			pages: make([]*trackPage, mem.PageCount),
+		}
+		m.txPool[c.core] = tx
 	}
-	m.tss[id] = st
-	m.active[id] = tx
+	tx.th = c.th
+	tx.id = id
+	tx.domain = c.domain
+	tx.attempt = attempt
+	tx.slowPath = slow
+	tx.rolledBack = false
+	tx.finished = false
+	tx.committing = false
+	tx.statusVal = txStatus{id: id, core: c.core, domain: c.domain, slowPath: slow, abortEnemyCore: -1}
+	tx.status = &tx.statusVal
+	tx.sig.Clear()
+	tx.resetTracking()
 	m.byCore[c.core] = tx
 	c.th.Advance(beginCost)
 	if m.tr != nil {
@@ -74,9 +76,11 @@ func (m *Machine) commit(tx *Tx) {
 	var nvmLat, dramLat int64
 
 	// --- NVM side ---
-	if len(tx.nvmWrites) > 0 {
+	if len(tx.nvmList) > 0 {
 		ring := m.redoRings.ForCore(tx.core)
-		nvmAddrs := sortedAddrs(tx.nvmWrites)
+		nvmAddrs := append(tx.commitScratch[:0], tx.nvmList...)
+		slices.Sort(nvmAddrs) // deterministic log layout
+		tx.commitScratch = nvmAddrs
 		for _, la := range nvmAddrs {
 			img := m.store.PeekLine(la)
 			m.hit(PointCommitRecord)
@@ -95,7 +99,7 @@ func (m *Machine) commit(tx *Tx) {
 		// guided by the overflow list (one DRAM-cache access to read it
 		// when non-empty).
 		m.hit(PointCommitFlush)
-		if len(tx.overflowList) > 0 {
+		if tx.ovfListCount > 0 {
 			nvmLat += int64(cfg.DRAMLatency)
 		}
 		for _, la := range nvmAddrs {
@@ -109,7 +113,7 @@ func (m *Machine) commit(tx *Tx) {
 
 	// --- DRAM side ---
 	m.hit(PointCommitDRAM)
-	if len(tx.overflowedDRAM) > 0 {
+	if tx.ovfDRAMCount > 0 {
 		switch m.opts.DRAMLog {
 		case DRAMUndo:
 			// Fast commit: one commit mark on the DRAM log.
@@ -118,7 +122,7 @@ func (m *Machine) commit(tx *Tx) {
 		case DRAMRedo:
 			// Lazy commit: copy every overflowed line from the log to
 			// its in-place location (the slow commit of Fig. 4c).
-			dramLat += int64(len(tx.overflowedDRAM)) * 2 * int64(cfg.DRAMLatency)
+			dramLat += int64(tx.ovfDRAMCount) * 2 * int64(cfg.DRAMLatency)
 			dramLat += int64(cfg.DRAMLatency) // mark
 		}
 	}
@@ -151,8 +155,8 @@ func (m *Machine) finishCommit(tx *Tx) {
 	// transaction's redo records while its images are still volatile —
 	// a crash then loses an acknowledged commit. (Found by the crash
 	// sweep; see RECOVERY.md.)
-	for la := range tx.nvmWrites {
-		m.pendingNVM[la] = m.store.PeekLine(la)
+	for _, la := range tx.nvmList {
+		m.pendingPut(la, m.store.PeekLine(la))
 	}
 	tx.committing = false
 	m.maybeReclaimRedo(tx.core)
@@ -160,8 +164,8 @@ func (m *Machine) finishCommit(tx *Tx) {
 
 	s := m.statsFor(tx.domain)
 	s.Commits++
-	s.ReadLines += uint64(tx.readLines.Len())
-	s.WriteLines += uint64(tx.writeLines.Len())
+	s.ReadLines += uint64(tx.readCount)
+	s.WriteLines += uint64(len(tx.writeList))
 	m.stats.Commits++
 	if tx.slowPath {
 		s.SlowPath++
@@ -171,15 +175,13 @@ func (m *Machine) finishCommit(tx *Tx) {
 	m.emit(trace.EvTxCommitDone, tx.core, tx.id, 0, 0, 0)
 
 	if m.opts.TrackCommits {
-		writes := make(map[mem.Addr]mem.Line, tx.writeLines.Len())
-		for la := range tx.writeLines {
+		writes := make(map[mem.Addr]mem.Line, len(tx.writeList))
+		for _, la := range tx.writeList {
 			writes[la] = m.store.PeekLine(la)
 		}
 		m.commitLog = append(m.commitLog, committedTx{ID: tx.id, Domain: tx.domain, Writes: writes})
 	}
 
-	delete(m.active, tx.id)
-	delete(m.tss, tx.id)
 	if m.byCore[tx.core] == tx {
 		m.byCore[tx.core] = nil
 	}
@@ -203,34 +205,34 @@ func (m *Machine) rollback(tx *Tx) (cost sim.Time) {
 	cost = m.lat.PipelineFlush
 	m.hit(PointAbortUndo)
 	onChip := 0
-	for la, img := range tx.undoImages {
-		old := img
-		m.store.PokeLine(la, &old)
+	for i := range tx.undo {
+		e := &tx.undo[i]
+		m.store.PokeLine(e.la, &e.img)
 		// Invalidate cached copies of speculative data.
-		if p, _ := m.llc.Invalidate(la); p {
+		if p, _ := m.llc.Invalidate(e.la); p {
 			onChip++
 		}
 		for _, l1 := range m.l1 {
-			l1.Invalidate(la)
+			l1.Invalidate(e.la)
 		}
 	}
 	cost += sim.Time(onChip) * m.lat.AbortPerLine
 
-	if len(tx.overflowedDRAM) > 0 {
+	if tx.ovfDRAMCount > 0 {
 		if m.opts.DRAMLog == DRAMUndo {
 			// Walk the undo log: read each entry and write it in place.
-			cost += sim.Time(len(tx.overflowedDRAM)) * 2 * cfg.DRAMLatency
+			cost += sim.Time(tx.ovfDRAMCount) * 2 * cfg.DRAMLatency
 		}
 		// DRAMRedo aborts are cheap: the log is simply dropped.
 	}
-	if len(tx.overflowList) > 0 {
+	if tx.ovfListCount > 0 {
 		cost += cfg.DRAMLatency // read the overflow list
 	}
 
 	// NVM side: invalidate-bit on DRAM-cache lines; redo-log deletion is
 	// deferred to background reclamation (Section IV-C), so only the
 	// abort mark is charged when any redo state exists.
-	if m.dcache.InvalidateTx(tx.id) > 0 || len(tx.nvmWrites) > 0 {
+	if m.dcache.InvalidateTx(tx.id) > 0 || len(tx.nvmList) > 0 {
 		m.hit(PointAbortMark)
 		m.redoRings.ForCore(tx.core).Append(wal.Record{Type: wal.RecAbort, TxID: tx.id})
 		cost += cfg.NVMWriteLatency
@@ -241,7 +243,6 @@ func (m *Machine) rollback(tx *Tx) (cost sim.Time) {
 	tx.sig.Clear()
 	m.clearSticky()
 
-	delete(m.active, tx.id)
 	if m.byCore[tx.core] == tx {
 		m.byCore[tx.core] = nil
 	}
@@ -262,7 +263,6 @@ func (m *Machine) finishAbort(tx *Tx, ab txAbort) {
 	}
 	cost := m.rollback(tx)
 	tx.th.Advance(cost)
-	delete(m.tss, tx.id)
 
 	s := m.statsFor(tx.domain)
 	s.AbortsBy[ab.cause]++
@@ -271,17 +271,36 @@ func (m *Machine) finishAbort(tx *Tx, ab txAbort) {
 
 // clearSticky drops all sticky check-signature bits once no live
 // transaction is overflowed — stale bits only cost extra checks, so a
-// coarse clearing point suffices.
+// coarse clearing point suffices. The scan deliberately includes the
+// retiring transaction still parked in its core slot: an overflowed
+// finisher keeps the bits, exactly as the former live-set scan did.
 func (m *Machine) clearSticky() {
-	if m.sticky == nil {
+	if !m.stickyAny {
 		return
 	}
-	for _, t := range m.active {
-		if t.status.overflowed {
+	for _, t := range m.byCore {
+		if t != nil && t.status.overflowed {
 			return
 		}
 	}
-	m.sticky = nil
+	m.stickyReset()
+}
+
+// stickyReset invalidates every sticky bit in O(1) by bumping the
+// generation.
+func (m *Machine) stickyReset() {
+	m.stickyGen++
+	if m.stickyGen == 0 {
+		// Generation wrap: wipe the pages so stale slots cannot collide,
+		// and skip 0 (the page zero value).
+		for _, p := range m.stickyPages {
+			if p != nil {
+				*p = stickyPage{}
+			}
+		}
+		m.stickyGen = 1
+	}
+	m.stickyAny = false
 }
 
 // maybeReclaimRedo keeps the per-core redo rings from filling: past the
@@ -347,14 +366,31 @@ func (m *Machine) setCheckpoint(lsn uint64) {
 // persistPending force-drains the committed image of every NVM line
 // still ahead of its in-place durable update. Addresses are walked in
 // sorted order so a crash at the k-th image always tears the same
-// prefix — the crash sweep's replays stay bit-reproducible.
+// prefix — the crash sweep's replays stay bit-reproducible. (A crash
+// mid-walk leaves the in-memory set undrained where the old map-based
+// code deleted entries incrementally; the difference is unobservable —
+// a halted machine's pending set is never consulted again, and only
+// the durable PersistLine order matters to the sweep.)
 func (m *Machine) persistPending() {
-	for _, la := range sortedAddrs2(m.pendingNVM) {
-		l := m.pendingNVM[la]
+	if len(m.pendingAddrs) == 0 {
+		return
+	}
+	s := append(m.persistScratch[:0], m.pendingAddrs...)
+	slices.Sort(s)
+	for _, la := range s {
+		idx := mem.LineIndex(la)
+		q := m.pendingPages[idx>>mem.PageShift].pos[idx&(mem.PageLines-1)]
+		l := m.pendingImgs[q-1]
 		m.hit(PointReclaimImage)
 		m.store.PersistLine(la, &l)
-		delete(m.pendingNVM, la)
 	}
+	for _, la := range m.pendingAddrs {
+		idx := mem.LineIndex(la)
+		m.pendingPages[idx>>mem.PageShift].pos[idx&(mem.PageLines-1)] = 0
+	}
+	m.pendingAddrs = m.pendingAddrs[:0]
+	m.pendingImgs = m.pendingImgs[:0]
+	m.persistScratch = s[:0]
 }
 
 // Recover performs post-crash recovery (Section IV-C): it replays the
@@ -376,12 +412,10 @@ func (m *Machine) Crash() {
 	for _, l1 := range m.l1 {
 		l1.Reset()
 	}
-	m.active = make(map[uint64]*Tx)
-	m.tss = make(map[uint64]*txStatus)
 	for i := range m.byCore {
 		m.byCore[i] = nil
 	}
-	m.sticky = nil
+	m.stickyReset()
 }
 
 // DrainToNVM forces all committed NVM data to the durable image — a
@@ -389,27 +423,6 @@ func (m *Machine) Crash() {
 func (m *Machine) DrainToNVM() {
 	m.persistPending()
 	m.dcache.DrainAll()
-}
-
-// sortedAddrs returns the keys of a line set in ascending order for
-// deterministic log layouts.
-func sortedAddrs(s map[mem.Addr]struct{}) []mem.Addr {
-	out := make([]mem.Addr, 0, len(s))
-	for a := range s {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// sortedAddrs2 is sortedAddrs for line-image maps.
-func sortedAddrs2(s map[mem.Addr]mem.Line) []mem.Addr {
-	out := make([]mem.Addr, 0, len(s))
-	for a := range s {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 func init() {

@@ -219,9 +219,11 @@ type Machine struct {
 
 	txCounter  uint64
 	lsnCounter uint64 // global commit sequence (log-serialization order)
-	tss        map[uint64]*txStatus
-	active     map[uint64]*Tx // live transactions by ID
-	byCore     []*Tx          // current transaction per core (nil if none)
+	byCore     []*Tx  // current transaction per core (nil if none)
+	// txPool holds each core's reusable Tx object (one live transaction
+	// per core; only that core's thread begins transactions on it, so
+	// the slot is recycled strictly after the previous attempt unwound).
+	txPool []*Tx
 
 	locks map[int]*domainLock // fallback lock per conflict domain
 
@@ -236,22 +238,36 @@ type Machine struct {
 	coreDomain []int
 
 	// pendingEvicts queues LLC victims during a fill so overflow
-	// handling runs after the cache arrays are quiescent.
+	// handling runs after the cache arrays are quiescent. evictHead
+	// indexes the next victim to drain; the slice is re-sliced to keep
+	// its capacity once drained.
 	pendingEvicts []cache.Eviction
+	evictHead     int
 
-	// sticky marks on-chip lines that matched an off-chip signature at
-	// fill time and therefore keep being checked against signatures —
-	// the reconstruction of a sticky "check signatures" directory bit
-	// that keeps the staged scheme sound after re-fetches.
-	sticky map[mem.Addr]bool
+	// Sticky check-signature bits: on-chip lines that matched an
+	// off-chip signature at fill time and therefore keep being checked
+	// against signatures — the reconstruction of a sticky "check
+	// signatures" directory bit that keeps the staged scheme sound after
+	// re-fetches. A line is sticky when its page slot carries the
+	// current stickyGen; clearing all bits is one generation bump.
+	// stickyAny short-circuits probes while no bit is set.
+	stickyGen   uint32
+	stickyPages []*stickyPage
+	stickyAny   bool
 
 	activeScratch []*Tx // reusable buffer for activeInOrder
 
-	// pendingNVM holds, per committed NVM line, the exact image at the
-	// latest commit that wrote it. Log reclamation persists these images
-	// before dropping redo records, so the durable update can never pick
-	// up a newer *uncommitted* in-place write.
-	pendingNVM map[mem.Addr]mem.Line
+	// The pendingNVM set holds, per committed NVM line, the exact image
+	// at the latest commit that wrote it. Log reclamation persists these
+	// images before dropping redo records, so the durable update can
+	// never pick up a newer *uncommitted* in-place write. pendingPages
+	// maps line index → 1-based position in pendingAddrs/pendingImgs
+	// (0 = absent); persistScratch is the reusable sort buffer for the
+	// deterministic drain order.
+	pendingPages   []*pendingPage
+	pendingAddrs   []mem.Addr
+	pendingImgs    []mem.Line
+	persistScratch []mem.Addr
 
 	// tr is the engine world's event recorder (nil = tracing disabled);
 	// cached here so hot paths pay one pointer test. abortDepth tracks,
@@ -288,22 +304,23 @@ func NewMachine(eng *sim.Engine, cfg mem.Config, opts Options) *Machine {
 		lat.StreamLine = opts.StreamLine
 	}
 	m := &Machine{
-		cfg:         cfg,
-		opts:        opts,
-		lat:         lat,
-		eng:         eng,
-		store:       mem.NewStore(cfg),
-		dir:         coherence.NewDirectory(),
-		tss:         make(map[uint64]*txStatus),
-		active:      make(map[uint64]*Tx),
-		byCore:      make([]*Tx, cfg.Cores),
-		locks:       make(map[int]*domainLock),
-		stats:       &stats.Stats{},
-		domainStats: make(map[int]*stats.Stats),
-		coreDomain:  make([]int, cfg.Cores),
-		pendingNVM:  make(map[mem.Addr]mem.Line),
-		syncCount:   make([]int, cfg.Cores),
-		abortDepth:  make([]int, cfg.Cores),
+		cfg:          cfg,
+		opts:         opts,
+		lat:          lat,
+		eng:          eng,
+		store:        mem.NewStore(cfg),
+		dir:          coherence.NewDirectory(),
+		byCore:       make([]*Tx, cfg.Cores),
+		txPool:       make([]*Tx, cfg.Cores),
+		locks:        make(map[int]*domainLock),
+		stats:        &stats.Stats{},
+		domainStats:  make(map[int]*stats.Stats),
+		coreDomain:   make([]int, cfg.Cores),
+		stickyGen:    1,
+		stickyPages:  make([]*stickyPage, mem.PageCount),
+		pendingPages: make([]*pendingPage, mem.PageCount),
+		syncCount:    make([]int, cfg.Cores),
+		abortDepth:   make([]int, cfg.Cores),
 	}
 	for i := range m.coreDomain {
 		m.coreDomain[i] = -1
@@ -415,7 +432,62 @@ func (m *Machine) DomainStats(domain int) *stats.Stats {
 func (m *Machine) CommitLog() []committedTx { return m.commitLog }
 
 // ActiveTxCount reports how many transactions are currently live.
-func (m *Machine) ActiveTxCount() int { return len(m.active) }
+func (m *Machine) ActiveTxCount() int {
+	n := 0
+	for _, t := range m.byCore {
+		if t != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// txByID returns the live transaction with the given ID, or nil. One
+// live transaction per core makes the per-core table the authoritative
+// ID index (a retiring transaction stays visible until its finish
+// routine clears its core slot, mirroring the former by-ID map).
+func (m *Machine) txByID(id uint64) *Tx {
+	if id == 0 {
+		return nil
+	}
+	for _, t := range m.byCore {
+		if t != nil && t.id == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// stickyPage is one page of the sticky check-signature bits: a line is
+// sticky when its slot holds the machine's current stickyGen.
+type stickyPage struct {
+	gen [mem.PageLines]uint32
+}
+
+// pendingPage is one page of the pendingNVM index: 1-based position of
+// the line in pendingAddrs/pendingImgs, 0 when absent.
+type pendingPage struct {
+	pos [mem.PageLines]int32
+}
+
+// pendingPut registers (or refreshes) the committed image of an NVM
+// line awaiting its in-place durable update.
+func (m *Machine) pendingPut(la mem.Addr, img mem.Line) {
+	idx := mem.LineIndex(la)
+	p := m.pendingPages[idx>>mem.PageShift]
+	if p == nil {
+		p = new(pendingPage)
+		m.pendingPages[idx>>mem.PageShift] = p
+	}
+	o := idx & (mem.PageLines - 1)
+	if q := p.pos[o]; q != 0 {
+		m.pendingImgs[q-1] = img
+		return
+	}
+	m.pendingAddrs = append(m.pendingAddrs, la)
+	m.pendingImgs = append(m.pendingImgs, img)
+	p.pos[o] = int32(len(m.pendingAddrs))
+}
 
 func (m *Machine) lock(domain int) *domainLock {
 	l := m.locks[domain]

@@ -9,11 +9,43 @@ import (
 	"uhtm/internal/stats"
 )
 
+// Per-line tracking flags of one transaction attempt (trackPage.flags).
+const (
+	fRead     uint8 = 1 << iota // in the precise read footprint
+	fWrite                      // in the precise write footprint
+	fUndo                       // first-touch pre-image captured (undoIdx valid)
+	fOvfList                    // on the hardware overflow list
+	fOvfDRAM                    // overflowed DRAM line (hybrid versioning)
+	fNVMWrite                   // in the NVM write-set
+)
+
+// trackPage is one page of a transaction's per-line tracking table.
+// Entries are generation-tagged: a slot belongs to the current attempt
+// only when its gen matches the transaction's, which makes resetting
+// the whole footprint between attempts O(1).
+type trackPage struct {
+	gen     [mem.PageLines]uint32
+	flags   [mem.PageLines]uint8
+	undoIdx [mem.PageLines]int32 // into Tx.undo, valid when fUndo is set
+}
+
+// undoEnt is one first-touch pre-image — the content the DRAM undo log
+// and cache invalidation restore on abort.
+type undoEnt struct {
+	la  mem.Addr
+	img mem.Line
+}
+
 // Tx is one running hardware transaction. Workload code obtains a Tx
 // from Ctx.Run and performs all shared-memory accesses through it; any
 // access may unwind the body with an internal abort signal, after which
 // Run rolls the transaction back and retries, so bodies must keep all
 // cross-attempt state in simulated memory.
+//
+// Tx objects are pooled per core: each core has exactly one live
+// transaction at a time, and its core's thread is the only one that
+// begins transactions on it, so the slot is reused only after the
+// previous attempt has fully unwound.
 type Tx struct {
 	m      *Machine
 	th     *sim.Thread
@@ -21,32 +53,41 @@ type Tx struct {
 	core   int
 	domain int
 	status *txStatus
+	// statusVal backs status — one TSS entry per core, reset per attempt.
+	statusVal txStatus
 
 	// sig carries the hardware read/write signatures: overflowed lines
 	// only under staged detection, every access under signature-only.
 	// Its precise shadows double as the Ideal detector's overflow sets.
 	sig *signature.Pair
 
-	// Full precise footprints (ground truth, Ideal detection, stats).
-	readLines  signature.Set
-	writeLines signature.Set
+	// gen/pages hold the per-line tracking table (footprints, undo
+	// capture, overflow membership) for the current attempt; see
+	// trackPage. The side lists below carry what needs iteration:
+	// undo pre-images, the unique write-set, and the NVM write-set —
+	// all reset by re-slicing between attempts.
+	gen   uint32
+	pages []*trackPage
 
-	// undoImages holds the first-touch pre-image of every written line —
-	// the content the DRAM undo log and cache invalidation restore.
-	undoImages map[mem.Addr]mem.Line
+	undo      []undoEnt
+	writeList []mem.Addr
+	nvmList   []mem.Addr
 
-	// overflowList mirrors the hardware overflow list: L1-evicted lines
-	// of this transaction's write-set (locates the write-set in
-	// LLC/DRAM-cache at commit/abort without scanning).
-	overflowList map[mem.Addr]struct{}
+	readCount    int // unique read lines (stats)
+	ovfListCount int // hardware overflow-list entries
+	ovfDRAMCount int // overflowed DRAM lines
 
-	// overflowedDRAM is the subset of the write-set that left the LLC
-	// and belongs to DRAM — the lines hybrid version management
-	// undo-logs (or redo-logs under DRAMRedo).
-	overflowedDRAM map[mem.Addr]struct{}
+	// commitScratch is the reusable buffer the commit protocol sorts the
+	// NVM write-set into (deterministic log layout without a per-commit
+	// allocation).
+	commitScratch []mem.Addr
 
-	// nvmWrites is the NVM write-set (redo-logged, flushed at commit).
-	nvmWrites map[mem.Addr]struct{}
+	// abortScratch backs the abort-unwind panic value: panicking with
+	// a pointer into the pooled Tx keeps the rollback path
+	// allocation-free (boxing a txAbort value would allocate on every
+	// abort). It is consumed synchronously by runBody's recover before
+	// the Tx can be reused.
+	abortScratch txAbort
 
 	attempt    int
 	slowPath   bool
@@ -58,6 +99,61 @@ type Tx struct {
 	// solely on its log records, so ReclaimLogs must not reclaim its
 	// core's ring.
 	committing bool
+}
+
+// slot returns la's tracking-table slot, materializing its page and
+// resetting the slot if it belongs to an earlier attempt.
+func (tx *Tx) slot(la mem.Addr) (*trackPage, uint64) {
+	idx := mem.LineIndex(la)
+	pi := idx >> mem.PageShift
+	p := tx.pages[pi]
+	if p == nil {
+		p = new(trackPage)
+		tx.pages[pi] = p
+	}
+	o := idx & (mem.PageLines - 1)
+	if p.gen[o] != tx.gen {
+		p.gen[o] = tx.gen
+		p.flags[o] = 0
+	}
+	return p, o
+}
+
+// flagsOf returns la's tracking flags for the current attempt (0 when
+// untouched) without materializing anything.
+func (tx *Tx) flagsOf(la mem.Addr) uint8 {
+	idx := mem.LineIndex(la)
+	p := tx.pages[idx>>mem.PageShift]
+	if p == nil {
+		return 0
+	}
+	o := idx & (mem.PageLines - 1)
+	if p.gen[o] != tx.gen {
+		return 0
+	}
+	return p.flags[o]
+}
+
+// resetTracking prepares the pooled Tx for a new attempt: bump the
+// generation (invalidating every tracking slot at once) and re-slice
+// the side lists.
+func (tx *Tx) resetTracking() {
+	tx.gen++
+	if tx.gen == 0 {
+		// Generation wrap: stale slots from 2^32 attempts ago could
+		// collide; wipe the table once and restart at 1 (page zero value
+		// means "gen 0", which must stay invalid).
+		for _, p := range tx.pages {
+			if p != nil {
+				*p = trackPage{}
+			}
+		}
+		tx.gen = 1
+	}
+	tx.undo = tx.undo[:0]
+	tx.writeList = tx.writeList[:0]
+	tx.nvmList = tx.nvmList[:0]
+	tx.readCount, tx.ovfListCount, tx.ovfDRAMCount = 0, 0, 0
 }
 
 // txAbort is the unwind signal for an aborting transaction. It carries
@@ -90,15 +186,19 @@ func (tx *Tx) Attempt() int { return tx.attempt }
 // domain's fallback lock.
 func (tx *Tx) SlowPath() bool { return tx.slowPath }
 
+// unwind aborts the current attempt: it stores the abort descriptor in
+// the Tx's pre-allocated scratch and panics with a pointer to it, which
+// runBody's recover converts back into a result.
+func (tx *Tx) unwind(cause stats.AbortCause, enemyID uint64, enemyCore int) {
+	tx.abortScratch = txAbort{cause: cause, enemyID: enemyID, enemyCore: enemyCore}
+	panic(&tx.abortScratch)
+}
+
 // checkAbortFlag unwinds if another transaction (or the lock holder)
 // marked this transaction aborted in the TSS.
 func (tx *Tx) checkAbortFlag() {
 	if tx.status.abortFlag {
-		panic(txAbort{
-			cause:     tx.status.abortCause,
-			enemyID:   tx.status.abortEnemy,
-			enemyCore: tx.status.abortEnemyCore,
-		})
+		tx.unwind(tx.status.abortCause, tx.status.abortEnemy, tx.status.abortEnemyCore)
 	}
 }
 
@@ -140,7 +240,7 @@ func (tx *Tx) WriteBytes(a mem.Addr, b []byte) {
 // Abort explicitly aborts the current attempt (xabort-style). Run will
 // retry the body.
 func (tx *Tx) Abort() {
-	panic(txAbort{cause: stats.CauseExplicit, enemyCore: -1})
+	tx.unwind(stats.CauseExplicit, 0, -1)
 }
 
 // rangeLines invokes fn for each line of [a, a+n).

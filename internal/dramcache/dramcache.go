@@ -13,23 +13,26 @@
 package dramcache
 
 import (
-	"sort"
+	"slices"
 
 	"uhtm/internal/cache"
 	"uhtm/internal/mem"
 	"uhtm/internal/trace"
 )
 
-type lineMeta struct {
-	tx        uint64 // owning transaction; 0 = non-transactional/none
-	committed bool
-}
-
-// Cache is the DRAM cache.
+// Cache is the DRAM cache. Per-line metadata (owning transaction and
+// commit state) lives in arrays parallel to the tag cache's ways, and
+// the per-transaction line index is an append-only slice validated
+// lazily against the current way owner — a stale entry (line evicted or
+// re-adopted by a newer transaction) is simply skipped when the list is
+// consumed.
 type Cache struct {
-	tags *cache.Cache
-	meta map[mem.Addr]*lineMeta
-	byTx map[uint64]map[mem.Addr]struct{}
+	tags      *cache.Cache
+	txOf      []uint64 // owning transaction per way; meaningful while the way is valid
+	committed []bool
+	byTx      map[uint64][]mem.Addr
+	freeLists [][]mem.Addr // recycled byTx slices
+	scratch   []mem.Addr   // DrainAll victim collection
 
 	// Drains counts committed lines displaced (their lazy in-place
 	// update is due); Drops counts uncommitted lines discarded (the redo
@@ -45,11 +48,11 @@ type Cache struct {
 
 // New builds a DRAM cache of the given geometry.
 func New(size, ways int) *Cache {
-	c := &Cache{
-		meta: make(map[mem.Addr]*lineMeta),
-		byTx: make(map[uint64]map[mem.Addr]struct{}),
-	}
+	c := &Cache{byTx: make(map[uint64][]mem.Addr)}
 	c.tags = cache.New("dram$", size, ways, c.onEvict)
+	n := c.tags.Sets() * c.tags.Ways()
+	c.txOf = make([]uint64, n)
+	c.committed = make([]bool, n)
 	return c
 }
 
@@ -68,43 +71,39 @@ func (c *Cache) emit(k trace.Kind, tx uint64, la mem.Addr) {
 }
 
 func (c *Cache) onEvict(e cache.Eviction) {
-	la := e.Addr
-	m := c.meta[la]
-	if m == nil {
+	// The victim way is still findable during the callback.
+	i := c.tags.FindWay(e.Addr)
+	if i < 0 {
 		return
 	}
-	if m.committed {
+	if c.committed[i] {
 		c.Drains++
-		c.emit(trace.EvDCDrain, m.tx, la)
+		c.emit(trace.EvDCDrain, c.txOf[i], e.Addr)
 	} else {
 		c.Drops++
-		c.emit(trace.EvDCDrop, m.tx, la)
+		c.emit(trace.EvDCDrop, c.txOf[i], e.Addr)
 	}
-	c.unindex(m.tx, la)
-	delete(c.meta, la)
 }
 
 func (c *Cache) index(tx uint64, la mem.Addr) {
 	if tx == 0 {
 		return
 	}
-	s := c.byTx[tx]
-	if s == nil {
-		s = make(map[mem.Addr]struct{})
-		c.byTx[tx] = s
+	s, ok := c.byTx[tx]
+	if !ok && len(c.freeLists) > 0 {
+		s = c.freeLists[len(c.freeLists)-1]
+		c.freeLists = c.freeLists[:len(c.freeLists)-1]
 	}
-	s[la] = struct{}{}
+	c.byTx[tx] = append(s, la)
 }
 
-func (c *Cache) unindex(tx uint64, la mem.Addr) {
-	if tx == 0 {
-		return
-	}
-	if s := c.byTx[tx]; s != nil {
-		delete(s, la)
-		if len(s) == 0 {
-			delete(c.byTx, tx)
-		}
+// release returns tx's line list to the free pool. A transaction's list
+// is consumed exactly once (commit or abort), so it can be recycled
+// immediately afterwards.
+func (c *Cache) release(tx uint64) {
+	if s, ok := c.byTx[tx]; ok {
+		delete(c.byTx, tx)
+		c.freeLists = append(c.freeLists, s[:0])
 	}
 }
 
@@ -113,19 +112,14 @@ func (c *Cache) unindex(tx uint64, la mem.Addr) {
 func (c *Cache) Insert(a mem.Addr, tx uint64) {
 	la := mem.LineOf(a)
 	c.emit(trace.EvDCFill, tx, la)
-	if m := c.meta[la]; m != nil {
-		// Re-inserted (the line bounced LLC→DRAM$ again): adopt the
-		// newest owner.
-		c.unindex(m.tx, la)
-		m.tx = tx
-		m.committed = tx == 0
-		c.index(tx, la)
-		c.tags.Insert(la)
-		return
-	}
-	c.meta[la] = &lineMeta{tx: tx, committed: tx == 0}
+	c.tags.Insert(la) // refresh on re-insert, may evict a victim otherwise
+	i := c.tags.FindWay(la)
+	// Re-inserted lines (the line bounced LLC→DRAM$ again) adopt the
+	// newest owner; the old owner's index entry goes stale and is
+	// skipped on consumption.
+	c.txOf[i] = tx
+	c.committed[i] = tx == 0
 	c.index(tx, la)
-	c.tags.Insert(la)
 }
 
 // Lookup reports whether a's line is buffered, refreshing LRU.
@@ -138,12 +132,13 @@ func (c *Cache) Contains(a mem.Addr) bool { return c.tags.Contains(a) }
 // number of lines marked.
 func (c *Cache) CommitTx(tx uint64) int {
 	n := 0
-	for la := range c.byTx[tx] {
-		if m := c.meta[la]; m != nil && m.tx == tx {
-			m.committed = true
+	for _, la := range c.byTx[tx] {
+		if i := c.tags.FindWay(la); i >= 0 && c.txOf[i] == tx && !c.committed[i] {
+			c.committed[i] = true
 			n++
 		}
 	}
+	c.release(tx)
 	return n
 }
 
@@ -151,16 +146,18 @@ func (c *Cache) CommitTx(tx uint64) int {
 // the abort path — and drops them. It returns the number invalidated.
 func (c *Cache) InvalidateTx(tx uint64) int {
 	lines := c.byTx[tx]
+	if c.tracer != nil {
+		slices.Sort(lines)
+	}
 	n := 0
-	for _, la := range c.iterOrder(lines) {
-		if m := c.meta[la]; m != nil && m.tx == tx {
+	for _, la := range lines {
+		if i := c.tags.FindWay(la); i >= 0 && c.txOf[i] == tx {
 			c.tags.Invalidate(la)
-			delete(c.meta, la)
 			c.emit(trace.EvDCDrop, tx, la)
 			n++
 		}
 	}
-	delete(c.byTx, tx)
+	c.release(tx)
 	return n
 }
 
@@ -168,41 +165,23 @@ func (c *Cache) InvalidateTx(tx uint64) int {
 // updates are handled by the machine's commit-image bookkeeping).
 // Uncommitted lines stay.
 func (c *Cache) DrainAll() {
-	for _, la := range c.iterOrder(c.metaKeys()) {
-		m := c.meta[la]
-		if m == nil || !m.committed {
-			continue
+	vs := c.scratch[:0]
+	for i := range c.txOf {
+		if la, ok := c.tags.WayLine(i); ok && c.committed[i] {
+			vs = append(vs, la)
 		}
-		c.Drains++
-		c.emit(trace.EvDCDrain, m.tx, la)
-		c.tags.Invalidate(la)
-		c.unindex(m.tx, la)
-		delete(c.meta, la)
-	}
-}
-
-// metaKeys returns the buffered line set as a key map for iterOrder.
-func (c *Cache) metaKeys() map[mem.Addr]struct{} {
-	ks := make(map[mem.Addr]struct{}, len(c.meta))
-	for la := range c.meta {
-		ks[la] = struct{}{}
-	}
-	return ks
-}
-
-// iterOrder returns the keys of s, sorted when tracing (so bulk
-// operations emit events deterministically) and in map order otherwise
-// (cheaper; the resulting state is identical either way).
-func (c *Cache) iterOrder(s map[mem.Addr]struct{}) []mem.Addr {
-	out := make([]mem.Addr, 0, len(s))
-	for la := range s {
-		out = append(out, la)
 	}
 	if c.tracer != nil {
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		slices.Sort(vs)
 	}
-	return out
+	for _, la := range vs {
+		i := c.tags.FindWay(la)
+		c.Drains++
+		c.emit(trace.EvDCDrain, c.txOf[i], la)
+		c.tags.Invalidate(la)
+	}
+	c.scratch = vs[:0]
 }
 
 // Len returns the number of buffered lines.
-func (c *Cache) Len() int { return len(c.meta) }
+func (c *Cache) Len() int { return c.tags.Len() }

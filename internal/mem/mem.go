@@ -12,6 +12,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"uhtm/internal/sim"
 	"uhtm/internal/trace"
@@ -129,6 +130,114 @@ func InLogArea(a Addr) bool {
 // Line is the unit of storage: one cache line of real bytes.
 type Line [LineSize]byte
 
+// The flat line-index space: every addressable line of the hybrid
+// memory maps to one dense index — DRAM lines first, NVM lines after —
+// so per-line metadata anywhere in the simulator can live in flat
+// arrays instead of map[Addr] hashes. Indices are grouped into pages of
+// PageLines lines; pages materialize on first touch, keeping the
+// resident footprint proportional to the lines actually used.
+const (
+	// PageShift sets the line-table page size: 1<<PageShift lines
+	// (64 KiB of data) per page.
+	PageShift = 10
+	// PageLines is the number of lines per line-table page.
+	PageLines = 1 << PageShift
+
+	dramLineCount = uint64(DRAMSize / LineSize)
+	nvmLineCount  = uint64(NVMSize / LineSize)
+
+	// LineCount is the total number of addressable lines (DRAM + NVM).
+	LineCount = dramLineCount + nvmLineCount
+	// PageCount is the number of line-table pages covering LineCount.
+	PageCount = int(LineCount / PageLines)
+)
+
+// LineIndex maps an address to its dense line index. It panics for
+// addresses outside both regions — always a simulator bug.
+func LineIndex(a Addr) uint64 {
+	if a < DRAMBase+DRAMSize {
+		return uint64(a >> 6)
+	}
+	if a >= NVMBase && a < NVMBase+NVMSize {
+		return dramLineCount + uint64((a-NVMBase)>>6)
+	}
+	panic(fmt.Sprintf("mem: address %#x outside DRAM and NVM regions", uint64(a)))
+}
+
+// AddrOfLineIndex inverts LineIndex, returning the line address.
+func AddrOfLineIndex(idx uint64) Addr {
+	if idx < dramLineCount {
+		return Addr(idx * LineSize)
+	}
+	return NVMBase + Addr((idx-dramLineCount)*LineSize)
+}
+
+// linePage is one page of a memory image: the line contents plus a
+// bitmap of which lines have materialized (been touched). The bitmap
+// preserves the exact key set the old map-based image exposed through
+// the snapshot functions.
+type linePage struct {
+	lines [PageLines]Line
+	mat   [PageLines / 64]uint64
+}
+
+// image is one memory image (live or durable) as a paged flat array.
+type image struct {
+	pages []*linePage
+}
+
+func newImage() image { return image{pages: make([]*linePage, PageCount)} }
+
+// line returns a pointer to the line at idx, materializing it.
+func (im *image) line(idx uint64) *Line {
+	p := im.pages[idx>>PageShift]
+	if p == nil {
+		p = new(linePage)
+		im.pages[idx>>PageShift] = p
+	}
+	off := idx & (PageLines - 1)
+	p.mat[off/64] |= 1 << (off % 64)
+	return &p.lines[off]
+}
+
+// read returns the line at idx without materializing it.
+func (im *image) read(idx uint64) Line {
+	if p := im.pages[idx>>PageShift]; p != nil {
+		return p.lines[idx&(PageLines-1)]
+	}
+	return Line{}
+}
+
+// forEach visits every materialized line in ascending address order.
+func (im *image) forEach(fn func(idx uint64, l *Line)) {
+	for pi, p := range im.pages {
+		if p == nil {
+			continue
+		}
+		for w, word := range p.mat {
+			for word != 0 {
+				off := uint64(w*64 + bits.TrailingZeros64(word))
+				fn(uint64(pi)<<PageShift+off, &p.lines[off])
+				word &= word - 1
+			}
+		}
+	}
+}
+
+// count returns the number of materialized lines.
+func (im *image) count() int {
+	n := 0
+	for _, p := range im.pages {
+		if p == nil {
+			continue
+		}
+		for _, word := range p.mat {
+			n += bits.OnesCount64(word)
+		}
+	}
+	return n
+}
+
 // Store is the simulated physical memory. The live image is what the
 // cache hierarchy observes; the durable image is what NVM would hold
 // after an instantaneous power failure (in-place NVM data that the
@@ -136,8 +245,8 @@ type Line [LineSize]byte
 // image and vanish at a crash.
 type Store struct {
 	cfg     Config
-	live    map[Addr]*Line
-	durable map[Addr]*Line // NVM lines only
+	live    image
+	durable image // NVM lines only
 
 	// crashpoint, when set, is invoked with the injection-point name
 	// immediately before each durability transition (see PointPersistLine
@@ -179,8 +288,8 @@ func (s *Store) SetTracer(r *trace.Recorder, now func() int64) {
 func NewStore(cfg Config) *Store {
 	return &Store{
 		cfg:     cfg,
-		live:    make(map[Addr]*Line),
-		durable: make(map[Addr]*Line),
+		live:    newImage(),
+		durable: newImage(),
 	}
 }
 
@@ -204,13 +313,7 @@ func (s *Store) WriteLatency(a Addr) sim.Time {
 }
 
 func (s *Store) lineLive(a Addr) *Line {
-	la := LineOf(a)
-	l := s.live[la]
-	if l == nil {
-		l = new(Line)
-		s.live[la] = l
-	}
-	return l
+	return s.live.line(LineIndex(a))
 }
 
 // ReadLine copies the live contents of the line containing a into dst
@@ -302,22 +405,12 @@ func (s *Store) PersistLine(a Addr, src *Line) {
 	if s.tracer != nil {
 		s.tracer.Emit(s.traceNow(), -1, trace.EvNVMPersist, 0, uint64(LineOf(a)), 0, 0)
 	}
-	la := LineOf(a)
-	l := s.durable[la]
-	if l == nil {
-		l = new(Line)
-		s.durable[la] = l
-	}
-	*l = *src
+	*s.durable.line(LineIndex(a)) = *src
 }
 
 // DurableLine returns the durable NVM contents of the line containing a.
 func (s *Store) DurableLine(a Addr) Line {
-	la := LineOf(a)
-	if l := s.durable[la]; l != nil {
-		return *l
-	}
-	return Line{}
+	return s.durable.read(LineIndex(a))
 }
 
 // PersistLiveNVM snapshots every live NVM line into the durable image —
@@ -325,36 +418,33 @@ func (s *Store) DurableLine(a Addr) Line {
 // before any transactions run. Call it after non-transactional setup
 // (prepopulation) and before crash-injection windows.
 func (s *Store) PersistLiveNVM() {
-	for a, l := range s.live {
+	s.live.forEach(func(idx uint64, l *Line) {
+		a := AddrOfLineIndex(idx)
 		if KindOf(a) == NVM && !InLogArea(a) {
-			cp := *l
-			d := s.durable[a]
-			if d == nil {
-				d = new(Line)
-				s.durable[a] = d
-			}
-			*d = cp
+			*s.durable.line(idx) = *l
 		}
-	}
+	})
 }
 
 // Crash simulates an instantaneous power failure: the live image is
 // discarded and replaced by the durable NVM image; DRAM reads as zero.
 // The caller (recovery) then replays committed redo-log records.
 func (s *Store) Crash() {
-	s.live = make(map[Addr]*Line, len(s.durable))
-	for a, l := range s.durable {
-		cp := *l
-		s.live[a] = &cp
+	s.live = newImage()
+	for pi, p := range s.durable.pages {
+		if p != nil {
+			cp := *p
+			s.live.pages[pi] = &cp
+		}
 	}
 }
 
 // SnapshotLive returns a deep copy of the live image, for checkers.
 func (s *Store) SnapshotLive() map[Addr]Line {
-	out := make(map[Addr]Line, len(s.live))
-	for a, l := range s.live {
-		out[a] = *l
-	}
+	out := make(map[Addr]Line, s.live.count())
+	s.live.forEach(func(idx uint64, l *Line) {
+		out[AddrOfLineIndex(idx)] = *l
+	})
 	return out
 }
 
@@ -362,10 +452,10 @@ func (s *Store) SnapshotLive() map[Addr]Line {
 // checkers (the crash framework's committed-prefix oracle compares it
 // against an independently computed expectation).
 func (s *Store) SnapshotDurable() map[Addr]Line {
-	out := make(map[Addr]Line, len(s.durable))
-	for a, l := range s.durable {
-		out[a] = *l
-	}
+	out := make(map[Addr]Line, s.durable.count())
+	s.durable.forEach(func(idx uint64, l *Line) {
+		out[AddrOfLineIndex(idx)] = *l
+	})
 	return out
 }
 

@@ -30,6 +30,17 @@ func scaleN(n int, scale float64) int {
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
+// ratio returns num/den, or 0 when den is not positive. Every fold that
+// normalizes a throughput against a baseline uses it so a zero-throughput
+// run (e.g. a scale so small no batch commits) folds to 0.00 instead of
+// dividing by zero.
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
 // pmdkConfig is the PMDK/Echo figure shape: each transaction is a
 // single insert/update with a value of footprintKB ("with the value size
 // of 100KB", Section VI-A), over a keyspace small enough to prepopulate
@@ -72,11 +83,8 @@ func fig2Plan(opt RunOptions) ([]harness.Spec[Result], foldFunc) {
 		tbl := &stats.Table{Header: []string{"benchmark", "LLC-Bounded tx/s", "Ideal tx/s", "Ideal/Bounded"}}
 		for i, b := range benches {
 			bounded, ideal := rs[2*i], rs[2*i+1]
-			ratio := 0.0
-			if bounded.Throughput() > 0 {
-				ratio = ideal.Throughput() / bounded.Throughput()
-			}
-			tbl.AddRow(string(b), f2(bounded.Throughput()), f2(ideal.Throughput()), f2(ratio))
+			tbl.AddRow(string(b), f2(bounded.Throughput()), f2(ideal.Throughput()),
+				f2(ratio(ideal.Throughput(), bounded.Throughput())))
 		}
 		return tbl
 	}
@@ -117,11 +125,7 @@ func fig6Plan(opt RunOptions) ([]harness.Spec[Result], foldFunc) {
 				if len(row) == 1 {
 					base = r.Throughput()
 				}
-				norm := 0.0
-				if base > 0 {
-					norm = r.Throughput() / base
-				}
-				row = append(row, f2(norm))
+				row = append(row, f2(ratio(r.Throughput(), base)))
 			}
 			tbl.AddRow(row...)
 		}
@@ -235,11 +239,7 @@ func fig8Plan(opt RunOptions) ([]harness.Spec[Result], foldFunc) {
 				if si == 0 {
 					base = r.Throughput()
 				}
-				rel := 0.0
-				if base > 0 {
-					rel = r.Throughput() / base
-				}
-				tbl.AddRow(fr.label, s.Name, f2(r.Throughput()), f2(rel))
+				tbl.AddRow(fr.label, s.Name, f2(r.Throughput()), f2(ratio(r.Throughput(), base)))
 			}
 		}
 		return tbl
@@ -274,11 +274,8 @@ func fig9Plan(exp string, b Bench, footprints []int, opt RunOptions) ([]harness.
 				if si == 0 {
 					base = r.Throughput()
 				}
-				rel := 0.0
-				if base > 0 {
-					rel = r.Throughput() / base
-				}
-				tbl.AddRow(fmt.Sprintf("%d", fp), s.Name, f2(r.Throughput()), f2(rel), pct(r.Stats.AbortRate()))
+				tbl.AddRow(fmt.Sprintf("%d", fp), s.Name, f2(r.Throughput()),
+					f2(ratio(r.Throughput(), base)), pct(r.Stats.AbortRate()))
 			}
 		}
 		return tbl
@@ -344,11 +341,8 @@ func fig10Plan(opt RunOptions) ([]harness.Spec[Result], foldFunc) {
 				redoSum += redoR.Throughput()
 			}
 			undo, redo := undoSum/float64(len(sigs)), redoSum/float64(len(sigs))
-			ratio := 0.0
-			if redo > 0 {
-				ratio = undo / redo
-			}
-			tbl.AddRow(fmt.Sprintf("%d", fp), f2(undo), f2(redo), f2(ratio), fmt.Sprintf("%d", ovf))
+			tbl.AddRow(fmt.Sprintf("%d", fp), f2(undo), f2(redo), f2(ratio(undo, redo)),
+				fmt.Sprintf("%d", ovf))
 		}
 		return tbl
 	}

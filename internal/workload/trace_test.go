@@ -2,10 +2,14 @@ package workload
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"testing"
 
+	"uhtm/internal/harness"
 	"uhtm/internal/mem"
 	"uhtm/internal/signature"
+	"uhtm/internal/stats"
 	"uhtm/internal/trace"
 )
 
@@ -112,6 +116,77 @@ func TestTraceParDeterminism(t *testing.T) {
 		return buf.Bytes()
 	}
 	if !bytes.Equal(render(1), render(8)) {
+		t.Error("Chrome traces differ between -par 1 and -par 8")
+	}
+}
+
+// TestFig7GoldenParDeterminism is the golden-output guard for the
+// performance work on the simulator core: a reduced fig7 grid (the
+// 100 KB footprint row, every system) must produce byte-identical
+// stats tables, JSON records and rendered Chrome traces at -par 1 and
+// -par 8. Any hot-path change that perturbs simulated behaviour —
+// rather than only host-side cost — trips this before it can reach a
+// committed results file. wall_ms is the single non-deterministic
+// field, so records are compared with Wall zeroed.
+func TestFig7GoldenParDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reduced fig7 grid skipped in -short mode")
+	}
+	type snapshot struct {
+		table, records, chrome []byte
+	}
+	// One fig7 row — the 100 KB footprint against every fig7 system —
+	// shrunk to test size: fewer threads, a smaller tree and no
+	// memory-intensive apps, but the same benchmark, value sizes and
+	// abort decomposition as the real grid.
+	cfg := pmdkConfig(100)
+	cfg.Instances = 2
+	cfg.ThreadsPerInstance = 2
+	cfg.KeySpace = 512
+	cfg.Prepopulate = 512
+	cfg.BatchesPerThread = 2
+	cfg.MemApps = 0
+	cfg.Seed = 7
+	cfg.Trace = true
+	take := func(par int) snapshot {
+		var specs []harness.Spec[Result]
+		for _, s := range Fig7Systems() {
+			specs = append(specs, spec("fig7", s, BenchMixed, cfg))
+		}
+		rs := harness.Execute(specs, par)
+
+		tbl := &stats.Table{Header: []string{"footprintKB", "system", "abort-rate", "overflowedTx"}}
+		var recs bytes.Buffer
+		var runs []trace.Run
+		for _, r := range rs {
+			tbl.AddRow(fmt.Sprintf("%d", r.FootprintKB), r.System,
+				pct(r.Stats.AbortRate()), fmt.Sprintf("%d", r.Stats.Overflows))
+			r.Wall = 0 // host time: the only non-deterministic field
+			b, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs.Write(b)
+			recs.WriteByte('\n')
+			if len(r.TraceEvents) == 0 {
+				t.Fatalf("run %s/%s carries no trace events", r.System, r.Bench)
+			}
+			runs = append(runs, trace.Run{Label: r.System + "/" + string(r.Bench), Events: r.TraceEvents})
+		}
+		var chrome bytes.Buffer
+		if err := trace.WriteChrome(&chrome, runs, nil); err != nil {
+			t.Fatal(err)
+		}
+		return snapshot{table: []byte(tbl.Format()), records: recs.Bytes(), chrome: chrome.Bytes()}
+	}
+	s1, s8 := take(1), take(8)
+	if !bytes.Equal(s1.table, s8.table) {
+		t.Errorf("stats tables differ between -par 1 and -par 8:\npar1:\n%s\npar8:\n%s", s1.table, s8.table)
+	}
+	if !bytes.Equal(s1.records, s8.records) {
+		t.Error("JSON records differ between -par 1 and -par 8")
+	}
+	if !bytes.Equal(s1.chrome, s8.chrome) {
 		t.Error("Chrome traces differ between -par 1 and -par 8")
 	}
 }
