@@ -70,6 +70,10 @@ func main() {
 // failing experiments.
 var runExperimentFn = workload.RunExperiment
 
+// benchRunSuiteFn indirects bench.RunSuite so tests can inject a suite
+// that fails partway through.
+var benchRunSuiteFn = bench.RunSuite
+
 // run is the entire CLI behind a testable seam: parse, execute, return
 // the exit code. Output sinks (-json, -trace) are finalized by defers,
 // which run on every return path — the earlier main() called os.Exit
@@ -402,24 +406,25 @@ func benchCmd(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	f, err := bench.RunSuite(func(format string, a ...any) {
+	f, err := benchRunSuiteFn(func(format string, a ...any) {
 		fmt.Fprintf(stdout, format+"\n", a...)
 	})
 	if err != nil {
+		// Same sink-loss class as the -json flush bug: the records
+		// collected before the failing benchmark are in f and must reach
+		// disk before the nonzero exit, or a long suite that dies on its
+		// last spec leaves nothing behind.
 		fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
+		if len(f.Suite) > 0 {
+			if werr := writeBenchFile(path, f); werr != nil {
+				fmt.Fprintf(stderr, "uhtmsim: writing %s: %v\n", path, werr)
+			} else {
+				fmt.Fprintf(stdout, "wrote partial %s (%d benchmarks before the failure)\n", path, len(f.Suite))
+			}
+		}
 		return 1
 	}
-	w, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
-		return 1
-	}
-	if err := f.Write(w); err == nil {
-		err = w.Close()
-	} else {
-		w.Close()
-	}
-	if err != nil {
+	if err := writeBenchFile(path, f); err != nil {
 		fmt.Fprintf(stderr, "uhtmsim: writing %s: %v\n", path, err)
 		return 1
 	}
@@ -452,6 +457,20 @@ func benchCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "no regressions vs %s (tol %.0f%%)\n", *baseline, 100**tol)
 	return 0
+}
+
+// writeBenchFile creates path and writes the bench document, closing
+// the file on every path.
+func writeBenchFile(path string, f bench.File) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Write(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
 }
 
 func b2i(b bool) int {

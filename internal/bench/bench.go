@@ -226,6 +226,10 @@ func TxSmallCommit(b *testing.B) {
 		}
 	})
 	eng.Run()
+	// Goroutine handoffs per transaction: machine-independent, so unlike
+	// ns/op it is gateable in CI. The single-thread engine should elide
+	// essentially every dispatch via the Sync fast path.
+	b.ReportMetric(float64(eng.Dispatches())/float64(b.N), "sched-handoffs/op")
 }
 
 // SignatureInsert measures Bloom-filter insertion.
@@ -298,4 +302,5 @@ func SimEngineYield(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	eng.Run()
+	b.ReportMetric(float64(eng.Dispatches())/float64(b.N), "sched-handoffs/op")
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -91,11 +93,22 @@ func Read(r io.Reader) (File, error) {
 // by more than this many allocations per op.
 const allocSlack = 64
 
+// metricSlack is the absolute slack for gated per-op custom metrics
+// (names ending in "/op", e.g. "sched-handoffs/op"): small enough to
+// catch a lost fast path, large enough that a metric hovering near zero
+// never fails on noise alone.
+const metricSlack = 0.05
+
 // Compare checks cur against base. It returns hard failures — a
-// benchmark missing from cur, or allocs/op beyond base*(1+tol) plus an
-// absolute slack — and informational notes (ns/op drift beyond tol,
-// benchmarks with no baseline). Allocation counts are the gate because
-// they are machine-independent; wall-clock on shared CI runners is not.
+// benchmark missing from cur, allocs/op beyond base*(1+tol) plus an
+// absolute slack, or a custom metric whose name ends in "/op" beyond
+// the same envelope — and informational notes (ns/op drift beyond tol,
+// benchmarks with no baseline). Allocation counts and per-op event
+// counts are the gate because they are machine-independent and
+// deterministic; wall-clock on shared CI runners is not. Other custom
+// metrics (throughput ratios, percentages) are not gated: they measure
+// the simulated machine, and the goldens already pin those outputs
+// byte for byte.
 func Compare(base, cur File, tol float64) (failures, notes []string) {
 	curBy := make(map[string]Record, len(cur.Suite))
 	for _, r := range cur.Suite {
@@ -114,6 +127,21 @@ func Compare(base, cur File, tol float64) (failures, notes []string) {
 			failures = append(failures, fmt.Sprintf("%s: allocs/op %d exceeds baseline %d by more than %.0f%% (+%d slack)",
 				b.Name, c.AllocsPerOp, b.AllocsPerOp, 100*tol, allocSlack))
 		}
+		for _, name := range sortedMetricNames(b.Metrics) {
+			if !strings.HasSuffix(name, "/op") {
+				continue
+			}
+			bv := b.Metrics[name]
+			cv, ok := c.Metrics[name]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: metric %s missing from current run", b.Name, name))
+				continue
+			}
+			if cv > bv*(1+tol)+metricSlack {
+				failures = append(failures, fmt.Sprintf("%s: %s %.3f exceeds baseline %.3f by more than %.0f%% (+%.2f slack)",
+					b.Name, name, cv, bv, 100*tol, metricSlack))
+			}
+		}
 		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tol) {
 			notes = append(notes, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (informational: wall-clock is machine-dependent)",
 				b.Name, c.NsPerOp, b.NsPerOp))
@@ -125,4 +153,15 @@ func Compare(base, cur File, tol float64) (failures, notes []string) {
 		}
 	}
 	return failures, notes
+}
+
+// sortedMetricNames returns m's keys in sorted order so Compare output
+// is deterministic.
+func sortedMetricNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }

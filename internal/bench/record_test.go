@@ -48,6 +48,46 @@ func TestCompareGatesOnAllocs(t *testing.T) {
 	}
 }
 
+// mrec builds a record carrying custom metrics.
+func mrec(name string, allocs int64, metrics map[string]float64) Record {
+	r := rec(name, allocs, 100)
+	r.Metrics = metrics
+	return r
+}
+
+// TestCompareGatesPerOpMetrics: custom metrics named "*/op" (per-op
+// event counts, machine-independent) are gated like allocs/op; other
+// custom metrics (simulated-machine ratios) are never gated.
+func TestCompareGatesPerOpMetrics(t *testing.T) {
+	base := File{Schema: Schema, Suite: []Record{
+		mrec("steady", 10, map[string]float64{"sched-handoffs/op": 0.01}),
+		mrec("regressed", 10, map[string]float64{"sched-handoffs/op": 0.5}),
+		mrec("dropped", 10, map[string]float64{"sched-handoffs/op": 1}),
+		mrec("ratio", 10, map[string]float64{"skiplist-slowdown-x": 2}),
+	}}
+	cur := File{Schema: Schema, Suite: []Record{
+		// 0.01 -> 0.04: huge relative growth, but inside the absolute
+		// slack that keeps near-zero metrics from failing on noise.
+		mrec("steady", 10, map[string]float64{"sched-handoffs/op": 0.04}),
+		// 0.5 -> 2.0: the fast path was lost; hard failure.
+		mrec("regressed", 10, map[string]float64{"sched-handoffs/op": 2.0}),
+		// Baseline had the metric, current run doesn't: hard failure.
+		mrec("dropped", 10, nil),
+		// Non-/op metric may move freely.
+		mrec("ratio", 10, map[string]float64{"skiplist-slowdown-x": 9}),
+	}}
+	failures, _ := Compare(base, cur, 0.25)
+	if len(failures) != 2 {
+		t.Fatalf("got %d failures %v, want 2", len(failures), failures)
+	}
+	if !strings.Contains(failures[0], "regressed") || !strings.Contains(failures[0], "sched-handoffs/op") {
+		t.Errorf("regressed metric not flagged: %v", failures)
+	}
+	if !strings.Contains(failures[1], "dropped") || !strings.Contains(failures[1], "missing") {
+		t.Errorf("dropped metric not flagged: %v", failures)
+	}
+}
+
 // TestFileRoundTrip: Write then Read reproduces the document, and the
 // bytes are deterministic (map keys sorted by encoding/json).
 func TestFileRoundTrip(t *testing.T) {

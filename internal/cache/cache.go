@@ -39,6 +39,12 @@ type Cache struct {
 	tick    uint64
 	onEvict EvictFunc
 
+	// presence, when enabled, is a counting filter over line-number
+	// hashes: a zero counter proves the line is absent, so bulk
+	// snoop-style probes (MaybeContains) can skip the way scan. It has
+	// no false negatives; collisions only cost a redundant scan.
+	presence []uint16
+
 	// Hits and Misses count Lookup results, for statistics.
 	Hits, Misses uint64
 
@@ -103,6 +109,38 @@ func (c *Cache) find(a mem.Addr) int {
 // callback returns.
 func (c *Cache) FindWay(a mem.Addr) int { return c.find(a) }
 
+// EnableFilter attaches the counting presence filter, sized at 8×
+// line capacity (power of two). It must be called on an empty cache —
+// typically right after New — because the counters track insertions
+// from then on.
+func (c *Cache) EnableFilter() {
+	if c.Len() != 0 {
+		panic(fmt.Sprintf("cache %s: EnableFilter on a non-empty cache", c.name))
+	}
+	n := 1
+	for n < 8*c.numSets*c.ways {
+		n <<= 1
+	}
+	c.presence = make([]uint16, n)
+}
+
+// phash maps a line address to its presence-filter bucket.
+func (c *Cache) phash(la mem.Addr) int {
+	return int(uint64(la)/mem.LineSize) & (len(c.presence) - 1)
+}
+
+// MaybeContains reports whether the line containing a could be present:
+// false is definitive (the line is absent), true means "scan to know".
+// Without an enabled filter it always reports true. It never touches
+// LRU state or counters, so callers can use it as a cheap pre-filter
+// for bulk probes like inclusive-invalidation snoops.
+func (c *Cache) MaybeContains(a mem.Addr) bool {
+	if c.presence == nil {
+		return true
+	}
+	return c.presence[c.phash(mem.LineOf(a))] != 0
+}
+
 // WayLine reports the line address held by flat way index i and whether
 // that way is valid.
 func (c *Cache) WayLine(i int) (mem.Addr, bool) {
@@ -142,32 +180,58 @@ func (c *Cache) Dirty(a mem.Addr) bool {
 	return i >= 0 && c.dirty[i]
 }
 
+// Touch refreshes the LRU position of a present line — exactly what
+// Insert does on a hit — and reports whether the line was present. On a
+// miss it changes nothing. Hot paths that need "refresh if present,
+// otherwise act before filling" (e.g. the LLC pollution stream) use it
+// to resolve presence and recency in one way scan instead of a
+// Contains/Insert pair.
+func (c *Cache) Touch(a mem.Addr) bool {
+	if i := c.find(a); i >= 0 {
+		c.tick++
+		c.used[i] = c.tick
+		return true
+	}
+	return false
+}
+
 // Insert brings the line containing a into the cache (most recently
 // used), evicting the LRU way of its set if full. Inserting a present
 // line just refreshes LRU. The victim, if any, is reported to onEvict.
+// Hit check, free-way search and LRU victim selection share one pass
+// over the set.
 func (c *Cache) Insert(a mem.Addr) {
 	la := mem.LineOf(a)
-	if i := c.find(la); i >= 0 {
-		c.tick++
-		c.used[i] = c.tick
-		return
-	}
+	tag := uint64(la) | 1
 	b := c.base(la)
-	victim := b
+	free, victim := -1, -1
 	for i := b; i < b+c.ways; i++ {
-		if c.tags[i] == 0 {
-			victim = i
-			break
-		}
-		if c.used[i] < c.used[victim] {
+		switch t := c.tags[i]; {
+		case t == tag:
+			c.tick++
+			c.used[i] = c.tick
+			return
+		case t == 0:
+			if free < 0 {
+				free = i
+			}
+		case free < 0 && (victim < 0 || c.used[i] < c.used[victim]):
 			victim = i
 		}
 	}
-	if c.tags[victim] != 0 && c.onEvict != nil {
+	if free >= 0 {
+		victim = free
+	} else if c.onEvict != nil {
 		c.onEvict(Eviction{Addr: mem.Addr(c.tags[victim] &^ 1), Dirty: c.dirty[victim]})
 	}
+	if c.presence != nil {
+		if free < 0 {
+			c.presence[c.phash(mem.Addr(c.tags[victim]&^1))]--
+		}
+		c.presence[c.phash(la)]++
+	}
 	c.tick++
-	c.tags[victim] = uint64(la) | 1
+	c.tags[victim] = tag
 	c.used[victim] = c.tick
 	c.dirty[victim] = false
 }
@@ -198,6 +262,9 @@ func (c *Cache) Invalidate(a mem.Addr) (present, dirty bool) {
 		c.tags[i] = 0
 		c.used[i] = 0
 		c.dirty[i] = false
+		if c.presence != nil {
+			c.presence[c.phash(mem.LineOf(a))]--
+		}
 	}
 	return
 }
@@ -228,5 +295,6 @@ func (c *Cache) Reset() {
 	clear(c.tags)
 	clear(c.used)
 	clear(c.dirty)
+	clear(c.presence)
 	c.tick, c.Hits, c.Misses = 0, 0, 0
 }

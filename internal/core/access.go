@@ -440,9 +440,13 @@ func (m *Machine) drainEvictions(requester *Tx) {
 		e := m.pendingEvicts[m.evictHead]
 		m.evictHead++
 		la := e.Addr
-		// Inclusive LLC: drop L1 copies.
+		// Inclusive LLC: drop L1 copies. The presence filter turns the
+		// common all-absent case into len(l1) array reads instead of
+		// len(l1) way scans.
 		for _, l1 := range m.l1 {
-			l1.Invalidate(la)
+			if l1.MaybeContains(la) {
+				l1.Invalidate(la)
+			}
 		}
 		owner, sharers := m.dir.SurrenderLine(la)
 		if m.tr != nil {

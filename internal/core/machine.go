@@ -328,9 +328,15 @@ func NewMachine(eng *sim.Engine, cfg mem.Config, opts Options) *Machine {
 	m.llc = cache.New("llc", cfg.LLCSize, cfg.LLCWays, m.onLLCEvict)
 	for i := 0; i < cfg.Cores; i++ {
 		core := i
-		m.l1 = append(m.l1, cache.New(fmt.Sprintf("l1.%d", i), cfg.L1Size, cfg.L1Ways, func(e cache.Eviction) {
+		l1 := cache.New(fmt.Sprintf("l1.%d", i), cfg.L1Size, cfg.L1Ways, func(e cache.Eviction) {
 			m.onL1Evict(core, e)
-		}))
+		})
+		// L1s take the brunt of inclusive-invalidation snoops (every LLC
+		// eviction probes all of them); the presence filter lets those
+		// probes skip caches that provably don't hold the victim. The LLC
+		// is not filtered — nothing bulk-probes it.
+		l1.EnableFilter()
+		m.l1 = append(m.l1, l1)
 	}
 	m.dcache = dramcache.New(cfg.DRAMCacheSize, cfg.DRAMCacheWays)
 	m.undoRings = wal.NewRings(m.store, mem.DRAMLogBase, mem.LogAreaSize, cfg.Cores, false)

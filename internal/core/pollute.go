@@ -27,7 +27,7 @@ func (c *Ctx) PolluteLLC(base mem.Addr, window, n int, perLine sim.Time, rng *ra
 	lines := window / mem.LineSize
 	for i := 0; i < n; i++ {
 		la := base + mem.Addr(rng.Intn(lines))*mem.LineSize
-		if !m.llc.Contains(la) {
+		if !m.llc.Touch(la) {
 			// LLC-missed request: signature check in scope.
 			if m.opts.Detect != DetectLLCBounded {
 				vs, _ := m.probeOffChip(c.core, la, nil, c.domain, false)
@@ -37,8 +37,8 @@ func (c *Ctx) PolluteLLC(base mem.Addr, window, n int, perLine sim.Time, rng *ra
 					}
 				}
 			}
+			m.llc.Insert(la)
 		}
-		m.llc.Insert(la)
 	}
 	c.th.Advance(sim.Time(n) * perLine)
 	m.drainEvictions(nil)

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"uhtm/internal/mem"
+	"uhtm/internal/sim"
+)
+
+// TestContextSwitchInNeverSuspended pins the Thread.Resume no-op
+// contract at the machine level: ContextSwitchIn on a core that was
+// never switched out must not clamp the thread's clock forward. Under
+// the pre-run-queue scheduler Resume cleared `suspended`
+// unconditionally and advanced the clock, so a stray switch-in (e.g. an
+// OS model rescheduling a thread it never descheduled) teleported the
+// core past every other thread and reordered the simulation.
+func TestContextSwitchInNeverSuspended(t *testing.T) {
+	eng, m := newTestMachine(DefaultOptions())
+	al := mem.NewAllocator(mem.NVM)
+	a := al.AllocLines(1)
+	var commitClock sim.Time
+	eng.Spawn("t", func(th *sim.Thread) {
+		c := m.NewCtx(th, 0)
+		before := th.Clock()
+		c.ContextSwitchIn(sim.Second) // never switched out: must be a no-op
+		if th.Suspended() {
+			t.Error("ContextSwitchIn suspended a running thread")
+		}
+		if got := th.Clock(); got != before {
+			t.Errorf("ContextSwitchIn moved a running core's clock %v -> %v", before, got)
+		}
+		c.Run(func(tx *Tx) { tx.WriteU64(a, 1) })
+		commitClock = th.Clock()
+	})
+	eng.Run()
+	if commitClock >= sim.Second {
+		t.Errorf("commit finished at %v; the stray switch-in leaked into the clock", commitClock)
+	}
+	if s := m.Stats(); s.Commits != 1 {
+		t.Errorf("commits = %d, want 1", s.Commits)
+	}
+}
+
+// TestContextSwitchRoundTrip: the intended pairing still works — switch
+// out suspends and flushes, switch in resumes no earlier than `at`.
+func TestContextSwitchRoundTrip(t *testing.T) {
+	eng, m := newTestMachine(DefaultOptions())
+	al := mem.NewAllocator(mem.NVM)
+	a := al.AllocLines(1)
+	var worker *sim.Thread
+	var resumedAt sim.Time
+	worker = eng.Spawn("worker", func(th *sim.Thread) {
+		c := m.NewCtx(th, 0)
+		c.Run(func(tx *Tx) { tx.WriteU64(a, 7) })
+		c.ContextSwitchOut()
+		th.Sync() // parks until the scheduler thread switches us back in
+		resumedAt = th.Clock()
+	})
+	eng.Spawn("os", func(th *sim.Thread) {
+		th.WaitUntil(func() bool { return worker.Suspended() }, 5*sim.Nanosecond)
+		th.Advance(100 * sim.Microsecond)
+		th.Sync()
+		c := m.NewCtx(worker, 0)
+		c.ContextSwitchIn(th.Clock())
+	})
+	eng.Run()
+	if resumedAt < 100*sim.Microsecond {
+		t.Errorf("worker resumed at %v, before the 100us switch-in point", resumedAt)
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+// runQueue is an indexed binary min-heap of runnable threads ordered by
+// (clock, id) — the engine's dispatch order. Every queued thread caches
+// its heap position in Thread.qi, so removal (Suspend) and re-keying
+// after an external clock change (Bump) are O(log n) with no search;
+// qi is -1 while a thread is unqueued (running, suspended or done).
+// The backing slice is reused across pushes, so a warmed-up queue
+// allocates nothing.
+type runQueue []*Thread
+
+// min returns the thread that would be dispatched next, or nil when the
+// queue is empty. The queue is not modified.
+func (q runQueue) min() *Thread {
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}
+
+// push enqueues t. t must not already be queued.
+func (q *runQueue) push(t *Thread) {
+	*q = append(*q, t)
+	t.qi = len(*q) - 1
+	q.up(t.qi)
+}
+
+// pop removes and returns the minimum thread. The queue must not be
+// empty.
+func (q *runQueue) pop() *Thread {
+	h := *q
+	t := h[0]
+	last := len(h) - 1
+	if last > 0 {
+		h[0] = h[last]
+		h[0].qi = 0
+	}
+	h[last] = nil
+	*q = h[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	t.qi = -1
+	return t
+}
+
+// remove unlinks t from an arbitrary queue position; it is a no-op when
+// t is not queued.
+func (q *runQueue) remove(t *Thread) {
+	i := t.qi
+	if i < 0 {
+		return
+	}
+	h := *q
+	last := len(h) - 1
+	if i != last {
+		h[i] = h[last]
+		h[i].qi = i
+	}
+	h[last] = nil
+	*q = h[:last]
+	if i != last {
+		q.fix(h[i])
+	}
+	t.qi = -1
+}
+
+// fix restores heap order around t after its clock changed in place.
+func (q runQueue) fix(t *Thread) {
+	if !q.down(t.qi) {
+		q.up(t.qi)
+	}
+}
+
+func (q runQueue) less(i, j int) bool {
+	a, b := q[i], q[j]
+	return a.clock < b.clock || (a.clock == b.clock && a.id < b.id)
+}
+
+func (q runQueue) swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].qi, q[j].qi = i, j
+}
+
+func (q runQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts index i toward the leaves and reports whether it moved.
+func (q runQueue) down(i int) bool {
+	start := i
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q.swap(m, i)
+		i = m
+	}
+	return i > start
+}

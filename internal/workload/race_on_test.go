@@ -1,0 +1,12 @@
+//go:build race
+
+package workload
+
+// raceEnabled reports whether this binary was built with the race
+// detector. The scheduler-equivalence goldens re-run full (reduced)
+// experiment grids; under the detector's ~10× slowdown they push the
+// package past the default test timeout, so they only assert in normal
+// builds — byte-identity is a determinism property the race detector
+// adds nothing to, and the scheduler's race coverage lives in
+// internal/sim's stress tests.
+const raceEnabled = true
