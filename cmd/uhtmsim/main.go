@@ -6,8 +6,10 @@
 //
 //	uhtmsim [-scale f] [-seed n] [-par n] [-json path] [-trace path] <experiment>
 //	uhtmsim -crash [-scale f] [-seed n] [-par n] [-json path]
-//	uhtmsim trace-summary <trace.json>
+//	uhtmsim serve [-addr host:port] [-cores n] [-prepopulate n] [-seed n]
+//	uhtmsim loadgen [-addr host:port] [-qps f] [-conns n] [-duration d] [-out path]
 //	uhtmsim bench [-out path] [-compare baseline.json] [-tol f]
+//	uhtmsim trace-summary <trace.json>
 //
 // where experiment is one of: table3, fig2, fig6, fig7, fig8, fig9a,
 // fig9b, fig10, ablate, all. (The authoritative list — including
@@ -44,6 +46,14 @@
 // it against a committed-prefix oracle. One JSON record is emitted per
 // injection (point, seed, verdict); the exit status is 1 if any
 // injection's recovery violated an invariant.
+//
+// `uhtmsim serve` runs the durable KV store as a long-lived TCP
+// service speaking a RESP-subset protocol, and `uhtmsim loadgen`
+// drives such a server with open-loop traffic, reporting latency
+// percentiles, saturation throughput and the induced abort rate as
+// JSON Lines. Both are documented in SERVING.md; the full subcommand
+// registry (serve, loadgen, bench, trace-summary) is printed by
+// `uhtmsim -h`, and a drift test pins this comment to it.
 package main
 
 import (
@@ -93,16 +103,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 2
 	}
 
-	if fs.NArg() > 0 && fs.Arg(0) == "trace-summary" {
-		if fs.NArg() != 2 {
-			fmt.Fprintln(stderr, "usage: uhtmsim trace-summary <trace.json>")
-			return 2
+	// Subcommand dispatch comes straight from the registry in serve.go,
+	// so the dispatcher and the usage text cannot drift apart.
+	if fs.NArg() > 0 {
+		for _, sc := range subcommands {
+			if fs.Arg(0) == sc.name {
+				return sc.run(fs.Args()[1:], stdout, stderr)
+			}
 		}
-		return traceSummary(stdout, stderr, fs.Arg(1))
-	}
-
-	if fs.NArg() > 0 && fs.Arg(0) == "bench" {
-		return benchCmd(fs.Args()[1:], stdout, stderr)
 	}
 
 	if want := 1 - b2i(*crashSweep); fs.NArg() != want {
@@ -483,12 +491,15 @@ func b2i(b bool) int {
 func usage(fs *flag.FlagSet, w io.Writer) {
 	fmt.Fprintf(w, `usage: uhtmsim [-scale f] [-seed n] [-par n] [-json path] [-trace path] <experiment>
        uhtmsim -crash [-scale f] [-seed n] [-par n] [-json path]
-       uhtmsim trace-summary <trace.json>
-       uhtmsim bench [-out path] [-compare baseline.json] [-tol f]
-
-experiments:
-  table3   simulation configuration (Table III)
 `)
+	for _, sc := range subcommands {
+		fmt.Fprintf(w, "       %s\n", sc.synopsis)
+	}
+	fmt.Fprintf(w, "\nsubcommands:\n")
+	for _, sc := range subcommands {
+		fmt.Fprintf(w, "  %-14s %s\n", sc.name, sc.desc)
+	}
+	fmt.Fprintf(w, "\nexperiments:\n  table3   simulation configuration (Table III)\n")
 	for _, e := range workload.Experiments() {
 		fmt.Fprintf(w, "  %-8s %s\n", e.Name, e.Desc)
 	}

@@ -1,10 +1,13 @@
 package uhtm_test
 
 import (
+	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -44,6 +47,107 @@ func TestInternalPackagesDocumented(t *testing.T) {
 			}
 			if !documented {
 				t.Errorf("package %s (%s) has no package doc comment", name, dir)
+			}
+		}
+	}
+}
+
+// TestExportedIdentifiersDocumented requires a doc comment on every
+// exported top-level identifier of every internal package — added with
+// internal/server (a network-facing API whose docs SERVING.md links
+// into), and enforced repo-wide so no package regresses below it.
+//
+// A constant or variable inside a grouped declaration also counts as
+// documented when the group itself has a doc comment (the standard Go
+// idiom, e.g. "Common durations." over sim's time units) or when a
+// sibling spec's doc comment in the same group mentions it by name
+// (the idiom used for families like "EvTxRead / EvTxWrite: ..." in
+// internal/trace, whose const block has no group doc).
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Errorf("%s: %v", dir, err)
+			continue
+		}
+		for _, pkg := range pkgs {
+			for fname, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					checkDeclDocumented(t, fset, fname, decl)
+				}
+			}
+		}
+	}
+}
+
+// checkDeclDocumented reports undocumented exported identifiers in one
+// top-level declaration.
+func checkDeclDocumented(t *testing.T, fset *token.FileSet, fname string, decl ast.Decl) {
+	t.Helper()
+	undocumented := func(pos token.Pos, what, name string) {
+		t.Errorf("%s:%d: exported %s %s has no doc comment",
+			fname, fset.Position(pos).Line, what, name)
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			what := "function"
+			if d.Recv != nil {
+				what = "method"
+			}
+			undocumented(d.Pos(), what, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		// Gather every comment in the group so "documented by mention"
+		// can be resolved against siblings.
+		var groupDocs []string
+		if d.Doc != nil {
+			groupDocs = append(groupDocs, d.Doc.Text())
+		}
+		for _, spec := range d.Specs {
+			if s, ok := spec.(*ast.ValueSpec); ok {
+				if s.Doc != nil {
+					groupDocs = append(groupDocs, s.Doc.Text())
+				}
+				if s.Comment != nil {
+					groupDocs = append(groupDocs, s.Comment.Text())
+				}
+			}
+		}
+		mentioned := func(name string) bool {
+			re := regexp.MustCompile(fmt.Sprintf(`\b%s\b`, regexp.QuoteMeta(name)))
+			for _, doc := range groupDocs {
+				if re.MatchString(doc) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+					undocumented(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if !n.IsExported() {
+						continue
+					}
+					if d.Doc == nil && s.Doc == nil && s.Comment == nil && !mentioned(n.Name) {
+						undocumented(n.Pos(), "value", n.Name)
+					}
+				}
 			}
 		}
 	}

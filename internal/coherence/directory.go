@@ -37,6 +37,7 @@ const (
 	ReadAfterWrite
 )
 
+// String names the conflict kind for logs and traces.
 func (k ConflictKind) String() string {
 	switch k {
 	case WriteAfterWrite:

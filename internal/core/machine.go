@@ -43,6 +43,7 @@ const (
 	DetectIdeal
 )
 
+// String names the detection mode for tables and logs.
 func (d Detection) String() string {
 	switch d {
 	case DetectLLCBounded:
@@ -71,6 +72,7 @@ const (
 	DRAMRedo
 )
 
+// String names the DRAM-log kind for logs and traces.
 func (k DRAMLogKind) String() string {
 	if k == DRAMUndo {
 		return "undo"

@@ -276,6 +276,7 @@ func (m *Machine) copyIn(a mem.Addr, src []byte) {
 	}
 }
 
+// String identifies the transaction (id, core, domain) for logs.
 func (tx *Tx) String() string {
 	return fmt.Sprintf("tx%d(core=%d,domain=%d)", tx.id, tx.core, tx.domain)
 }

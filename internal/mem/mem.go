@@ -40,6 +40,7 @@ const (
 	NVM
 )
 
+// String names the memory kind ("DRAM" or "NVM").
 func (k Kind) String() string {
 	if k == DRAM {
 		return "DRAM"

@@ -1,0 +1,679 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"uhtm/internal/core"
+	"uhtm/internal/harness"
+	"uhtm/internal/mem"
+	"uhtm/internal/sim"
+	"uhtm/internal/stats"
+)
+
+// Config parameterizes one server.
+type Config struct {
+	// Addr is the TCP listen address; ":0" picks a free port.
+	Addr string
+	// Cores bounds how many requests execute concurrently as simulated
+	// threads in one engine batch (the machine's core count). Default 4.
+	Cores int
+	// Buckets sizes the NVM hash table. Default 1<<15.
+	Buckets int
+	// Seed seeds the engine's deterministic RNG. Default 42.
+	Seed int64
+	// Prepopulate inserts keys 1..Prepopulate before serving.
+	Prepopulate int
+	// PrepopValueSize sizes prepopulated values (default 64).
+	PrepopValueSize int
+	// Geometry overrides the Table III machine configuration (tests use
+	// a shrunken hierarchy). Cores is always taken from Config.Cores.
+	Geometry *mem.Config
+	// Options overrides the machine's HTM options (default:
+	// core.DefaultOptions with Paranoid off — the server is a service,
+	// not a test vehicle).
+	Options *core.Options
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Cores <= 0 {
+		c.Cores = 4
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 1 << 15
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.PrepopValueSize <= 0 {
+		c.PrepopValueSize = 64
+	}
+	return c
+}
+
+// reqKind discriminates engine-loop requests.
+type reqKind int
+
+const (
+	reqOps   reqKind = iota // execute ops as one durable transaction
+	reqStats                // marshal server+machine counters
+	reqCrash                // simulated power failure + recovery
+)
+
+// request is one unit of work funneled to the engine loop. The loop
+// fills results/statsJSON/err and closes done.
+type request struct {
+	kind      reqKind
+	ops       []Op
+	results   []OpResult
+	applied   bool
+	statsJSON []byte
+	err       error
+	done      chan struct{}
+}
+
+// errLostPower is the per-request error for work in flight when a
+// simulated power failure struck.
+var errLostPower = errors.New("server lost power mid-request; state recovered, retry")
+
+// errShuttingDown rejects work submitted after shutdown began.
+var errShuttingDown = errors.New("server shutting down")
+
+// Server owns the long-lived simulated machine and serves the wire
+// protocol on a TCP listener. All simulation state (engine, machine,
+// store) is owned exclusively by the engine-loop goroutine; connection
+// handlers communicate with it only through requests, so the engine
+// stays the single-threaded world sim.Engine requires.
+type Server struct {
+	cfg   Config
+	eng   *sim.Engine
+	m     *core.Machine
+	sess  *harness.Session
+	store *Store
+
+	ln        net.Listener
+	reqCh     chan *request
+	closing   chan struct{}
+	loopDone  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+
+	start time.Time
+
+	// Engine-loop-owned counters (reported by STATS).
+	batches  uint64
+	requests uint64
+	crashes  uint64
+}
+
+// New builds the simulated machine and durable store (prepopulated if
+// configured) without listening yet.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	mc := mem.DefaultConfig()
+	if cfg.Geometry != nil {
+		mc = *cfg.Geometry
+	}
+	mc.Cores = cfg.Cores
+	opts := core.DefaultOptions()
+	opts.Paranoid = false
+	if cfg.Options != nil {
+		opts = *cfg.Options
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	m := core.NewMachine(eng, mc, opts)
+	s := &Server{
+		cfg:      cfg,
+		eng:      eng,
+		m:        m,
+		sess:     harness.NewSession(eng),
+		store:    NewStore(m, cfg.Buckets),
+		reqCh:    make(chan *request, 4*cfg.Cores),
+		closing:  make(chan struct{}),
+		loopDone: make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	if cfg.Prepopulate > 0 {
+		s.store.Prepopulate(cfg.Prepopulate, cfg.PrepopValueSize)
+	}
+	return s
+}
+
+// Machine exposes the underlying machine (tests, recovery checks).
+// Callers must not touch it while the server is listening — the engine
+// loop owns it.
+func (s *Server) Machine() *core.Machine { return s.m }
+
+// KV exposes the durable store (tests). Same ownership caveat as
+// Machine.
+func (s *Server) KV() *Store { return s.store }
+
+// Engine exposes the engine (tests: halt injection before Listen).
+// Same ownership caveat as Machine.
+func (s *Server) Engine() *sim.Engine { return s.eng }
+
+// Listen binds the configured address and starts serving. It returns
+// once the listener is live; Addr then reports the bound address.
+func (s *Server) Listen() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.start = time.Now()
+	go s.engineLoop()
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close shuts the server down gracefully: stop accepting, sever
+// connections (requests already submitted still complete), drain the
+// request queue, and run a final log-reclamation pass so the durable
+// image carries a fresh WAL checkpoint. Safe to call more than once.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closing)
+		if s.ln != nil {
+			s.closeErr = s.ln.Close()
+		}
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		s.connWG.Wait()
+		close(s.reqCh)
+		if s.ln != nil {
+			<-s.loopDone
+		}
+	})
+	return s.closeErr
+}
+
+// acceptLoop admits connections until the listener closes.
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (shutdown) or fatal accept error
+		}
+		s.connMu.Lock()
+		select {
+		case <-s.closing:
+			s.connMu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.connMu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// engineLoop is the single goroutine that drives the simulation: it
+// gathers pending requests into batches of at most Cores, runs each
+// batch as one engine run (one simulated thread per request), and
+// completes the requests. It exits when the request channel closes,
+// after a final reclamation pass (the shutdown WAL checkpoint).
+func (s *Server) engineLoop() {
+	defer close(s.loopDone)
+	for req := range s.reqCh {
+		switch req.kind {
+		case reqStats:
+			req.statsJSON = s.statsJSON()
+			close(req.done)
+		case reqCrash:
+			s.powerFail()
+			close(req.done)
+		case reqOps:
+			batch := s.gather(req)
+			s.runBatch(batch)
+		}
+	}
+	// Shutdown: persist committed images in place and checkpoint the
+	// redo logs, so a post-shutdown image recovers instantly.
+	s.m.ReclaimLogs()
+}
+
+// gather collects additional ready ops requests (without blocking)
+// until the batch fills the machine's cores. Non-ops requests stop the
+// gather — they need the machine quiescent — and are pushed back via
+// immediate handling after the batch by re-queueing on a goroutine.
+func (s *Server) gather(first *request) []*request {
+	batch := []*request{first}
+	for len(batch) < s.cfg.Cores {
+		select {
+		case r, ok := <-s.reqCh:
+			if !ok {
+				return batch
+			}
+			if r.kind != reqOps {
+				// Handle after this batch: requeue without blocking the
+				// loop (the channel may be full of ops requests).
+				go func() {
+					select {
+					case s.reqCh <- r:
+					case <-s.closing:
+						r.err = errShuttingDown
+						close(r.done)
+					}
+				}()
+				return batch
+			}
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch executes one batch: each request's ops become one durable
+// transaction on its own simulated thread (all in conflict domain 0 —
+// one store, one application). On an injected power failure the batch's
+// unapplied requests fail with errLostPower and the machine recovers
+// before the next batch.
+func (s *Server) runBatch(batch []*request) {
+	bodies := make([]func(*sim.Thread), len(batch))
+	for i, r := range batch {
+		r := r
+		bodies[i] = func(th *sim.Thread) {
+			c := s.m.NewCtx(th, 0)
+			r.results = s.store.Apply(c, r.ops)
+			r.applied = true
+		}
+	}
+	s.batches++
+	s.requests += uint64(len(batch))
+	_, halted := s.sess.Do("serve", bodies...)
+	if halted {
+		// A crashpoint hook fired mid-batch (test-injected power
+		// failure). Recover the machine, then fail what was lost.
+		s.recoverAfterHalt()
+		for _, r := range batch {
+			if !r.applied {
+				r.err = errLostPower
+			}
+		}
+	}
+	for _, r := range batch {
+		close(r.done)
+	}
+}
+
+// powerFail models an operator-triggered power failure (the CRASH
+// command): volatile state is lost, the redo logs replay, the DRAM
+// index is rebuilt. Runs between batches, so no request is in flight.
+func (s *Server) powerFail() {
+	s.crashes++
+	s.m.Crash()
+	s.m.Recover()
+	s.store.Recover()
+}
+
+// recoverAfterHalt is powerFail for a failure that struck mid-batch:
+// the engine halted, so the session must also restart.
+func (s *Server) recoverAfterHalt() {
+	s.powerFail()
+	s.sess.Restart()
+}
+
+// statsJSON marshals the STATS reply.
+func (s *Server) statsJSON() []byte {
+	ms := *s.m.Stats()
+	ms.Elapsed = s.eng.Now()
+	doc := struct {
+		Server  serverStats  `json:"server"`
+		Machine *stats.Stats `json:"machine"`
+	}{
+		Server: serverStats{
+			UptimeS:  time.Since(s.start).Seconds(),
+			VirtualS: s.eng.Now().Seconds(),
+			Batches:  s.batches,
+			Requests: s.requests,
+			Crashes:  s.crashes,
+			Keys:     s.store.table.Len(s.m.Store()),
+		},
+		Machine: &ms,
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return []byte(fmt.Sprintf(`{"error":%q}`, err))
+	}
+	return b
+}
+
+// serverStats is the server half of the STATS document (the machine
+// half is the stats.Stats JSON shared with the experiment records).
+type serverStats struct {
+	UptimeS  float64 `json:"uptime_s"`
+	VirtualS float64 `json:"virtual_s"`
+	Batches  uint64  `json:"batches"`
+	Requests uint64  `json:"requests"`
+	Crashes  uint64  `json:"crashes"`
+	Keys     int     `json:"keys"`
+}
+
+// submit hands one request to the engine loop and waits for it.
+func (s *Server) submit(req *request) error {
+	req.done = make(chan struct{})
+	select {
+	case s.reqCh <- req:
+	case <-s.closing:
+		return errShuttingDown
+	}
+	<-req.done
+	return req.err
+}
+
+// submitOps executes ops as one durable transaction.
+func (s *Server) submitOps(ops []Op) ([]OpResult, error) {
+	req := &request{kind: reqOps, ops: ops}
+	if err := s.submit(req); err != nil {
+		return nil, err
+	}
+	return req.results, nil
+}
+
+// maxScanCount caps one SCAN's result size.
+const maxScanCount = 10000
+
+// connState is the per-connection protocol state: the MULTI queue.
+type connState struct {
+	inMulti  bool
+	queued   []Op
+	multiErr bool // a queued command failed to parse; EXEC must refuse
+}
+
+// handleConn runs one connection's request loop. Errors are isolated
+// to the connection: parse errors get -ERR replies (framing errors
+// additionally close the connection, since the stream position is
+// lost), and a panic in command handling closes this connection only.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		recover() // isolate: a handler bug kills the connection, not the server
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	st := &connState{}
+	for {
+		argv, err := ReadRequest(r)
+		if err != nil {
+			if IsProtocolError(err) {
+				WriteReply(w, Errf("%v", err))
+				w.Flush()
+			}
+			return // io error (client gone, shutdown) or unsyncable stream
+		}
+		if len(argv) == 0 {
+			continue // blank inline line
+		}
+		rep, quit := s.dispatch(st, argv)
+		if err := WriteReply(w, rep); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// dispatch executes one command against the connection state,
+// returning the reply and whether the connection should close.
+func (s *Server) dispatch(st *connState, argv [][]byte) (rep Reply, quit bool) {
+	name := strings.ToUpper(string(argv[0]))
+	cmd, ok := lookupCommand(name)
+	if !ok {
+		return Errf("unknown command %q (see SERVING.md)", name), false
+	}
+	if st.inMulti && !cmd.InMulti {
+		switch name {
+		case "EXEC", "DISCARD", "QUIT":
+			// control commands allowed below
+		default:
+			return Errf("%s is not allowed inside MULTI", name), false
+		}
+	}
+	switch name {
+	case "PING":
+		return Reply{Kind: ReplySimple, Str: "PONG"}, false
+	case "QUIT":
+		return OK(), true
+	case "MULTI":
+		if st.inMulti {
+			return Errf("MULTI calls can not be nested"), false
+		}
+		st.inMulti, st.queued, st.multiErr = true, nil, false
+		return OK(), false
+	case "DISCARD":
+		if !st.inMulti {
+			return Errf("DISCARD without MULTI"), false
+		}
+		st.inMulti, st.queued, st.multiErr = false, nil, false
+		return OK(), false
+	case "EXEC":
+		if !st.inMulti {
+			return Errf("EXEC without MULTI"), false
+		}
+		ops := st.queued
+		bad := st.multiErr
+		st.inMulti, st.queued, st.multiErr = false, nil, false
+		if bad {
+			return Errf("EXECABORT transaction discarded because of previous errors"), false
+		}
+		results, err := s.submitOps(ops)
+		if err != nil {
+			return Errf("%v", err), false
+		}
+		out := Reply{Kind: ReplyArray, Array: make([]Reply, len(ops))}
+		for i, op := range ops {
+			out.Array[i] = opReply(op, results[i])
+		}
+		return out, false
+	case "STATS":
+		req := &request{kind: reqStats}
+		if err := s.submit(req); err != nil {
+			return Errf("%v", err), false
+		}
+		return BulkString(req.statsJSON), false
+	case "CRASH":
+		req := &request{kind: reqCrash}
+		if err := s.submit(req); err != nil {
+			return Errf("%v", err), false
+		}
+		return OK(), false
+	default: // the data ops: GET PUT SET DEL SCAN
+		op, err := parseOp(name, argv)
+		if err != nil {
+			if st.inMulti {
+				st.multiErr = true
+			}
+			return Errf("%v", err), false
+		}
+		if st.inMulti {
+			st.queued = append(st.queued, op)
+			return Reply{Kind: ReplySimple, Str: "QUEUED"}, false
+		}
+		results, err := s.submitOps([]Op{op})
+		if err != nil {
+			return Errf("%v", err), false
+		}
+		return opReply(op, results[0]), false
+	}
+}
+
+// parseOp builds the store op for one data command.
+func parseOp(name string, argv [][]byte) (Op, error) {
+	switch name {
+	case "GET", "DEL":
+		if len(argv) != 2 {
+			return Op{}, fmt.Errorf("wrong number of arguments for %s (want: %s key)", name, name)
+		}
+		k, err := parseKey(argv[1])
+		if err != nil {
+			return Op{}, err
+		}
+		kind := OpGet
+		if name == "DEL" {
+			kind = OpDel
+		}
+		return Op{Kind: kind, Key: k}, nil
+	case "PUT", "SET":
+		if len(argv) != 3 {
+			return Op{}, fmt.Errorf("wrong number of arguments for %s (want: %s key value)", name, name)
+		}
+		k, err := parseKey(argv[1])
+		if err != nil {
+			return Op{}, err
+		}
+		if len(argv[2]) > MaxBulk {
+			return Op{}, fmt.Errorf("value exceeds %d bytes", MaxBulk)
+		}
+		// Copy: argv aliases the read buffer only within one request,
+		// but ops outlive the dispatch (MULTI queues, engine batches).
+		v := append([]byte(nil), argv[2]...)
+		return Op{Kind: OpPut, Key: k, Val: v}, nil
+	case "SCAN":
+		if len(argv) != 3 {
+			return Op{}, fmt.Errorf("wrong number of arguments for SCAN (want: SCAN start count)")
+		}
+		k, err := parseKey(argv[1])
+		if err != nil {
+			return Op{}, err
+		}
+		n, err := strconv.Atoi(string(argv[2]))
+		if err != nil || n <= 0 {
+			return Op{}, fmt.Errorf("SCAN count %q is not a positive integer", argv[2])
+		}
+		if n > maxScanCount {
+			n = maxScanCount
+		}
+		return Op{Kind: OpScan, Key: k, N: n}, nil
+	default:
+		return Op{}, fmt.Errorf("unknown data command %q", name)
+	}
+}
+
+// opReply renders one op's result as its wire reply.
+func opReply(op Op, res OpResult) Reply {
+	switch op.Kind {
+	case OpGet:
+		if !res.Found {
+			return BulkString(nil)
+		}
+		return BulkString(res.Val)
+	case OpPut:
+		return OK()
+	case OpDel:
+		if res.Found {
+			return Int(1)
+		}
+		return Int(0)
+	case OpScan:
+		out := Reply{Kind: ReplyArray, Array: make([]Reply, 0, 2*len(res.Keys))}
+		for i, k := range res.Keys {
+			out.Array = append(out.Array,
+				BulkString([]byte(strconv.FormatUint(k, 10))),
+				BulkString(res.Vals[i]))
+		}
+		return out
+	default:
+		return Errf("unrenderable op %v", op.Kind)
+	}
+}
+
+// Dial is a minimal protocol client used by the load generator, the
+// CLI and tests: one connection, synchronous request/reply.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Do sends one command (RESP-framed) and reads its reply.
+func (c *Client) Do(args ...[]byte) (Reply, error) {
+	if err := WriteRequest(c.w, args); err != nil {
+		return Reply{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Reply{}, err
+	}
+	return ReadReply(c.r)
+}
+
+// DoStrings is Do with string arguments.
+func (c *Client) DoStrings(args ...string) (Reply, error) {
+	bs := make([][]byte, len(args))
+	for i, a := range args {
+		bs[i] = []byte(a)
+	}
+	return c.Do(bs...)
+}
+
+// Pipeline sends several commands before reading any reply — one
+// network round trip for the whole group. It returns one reply per
+// command.
+func (c *Client) Pipeline(cmds [][][]byte) ([]Reply, error) {
+	for _, argv := range cmds {
+		if err := WriteRequest(c.w, argv); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]Reply, 0, len(cmds))
+	for range cmds {
+		rep, err := ReadReply(c.r)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,178 @@
+// Package server puts a network front-end on the durable key-value
+// machinery: a long-lived simulated machine (engine + core.Machine +
+// NVM-backed store) behind a line-oriented RESP-subset TCP protocol,
+// plus an open-loop load generator for driving it. Where the workload
+// drivers in internal/workload build a fresh engine per closed-loop
+// run, the server keeps one engine alive for its whole lifetime and
+// maps externally arriving requests onto durable transactions through
+// a harness.Session — the paper's Table IV stores promoted from
+// simulation subjects to a service. See SERVING.md for the wire
+// protocol and operational reference.
+package server
+
+import (
+	"fmt"
+
+	"uhtm/internal/core"
+	"uhtm/internal/mem"
+	"uhtm/internal/txds"
+)
+
+// OpKind names one store operation a request can carry.
+type OpKind int
+
+// The store operations. Every op in a request executes inside the same
+// durable transaction.
+const (
+	// OpGet reads one key.
+	OpGet OpKind = iota
+	// OpPut inserts or updates one key.
+	OpPut
+	// OpDel removes one key.
+	OpDel
+	// OpScan walks up to N keys in ascending key order starting at Key.
+	OpScan
+)
+
+// String names the op kind; it matches the wire command name.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDel:
+		return "DEL"
+	case OpScan:
+		return "SCAN"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one store operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  []byte // OpPut only
+	N    int    // OpScan only: max keys to return
+}
+
+// OpResult is one op's outcome.
+type OpResult struct {
+	Val     []byte   // OpGet: the value (nil when absent)
+	Found   bool     // OpGet: key present; OpDel: key existed
+	Keys    []uint64 // OpScan: keys in ascending order
+	Vals    [][]byte // OpScan: matching values
+	Written bool     // OpPut: always true on commit
+}
+
+// Store is the durable KV the server fronts: an NVM HashMap holding
+// the authoritative key→value mapping (the durable truth recovery
+// restores) and a DRAM B-Tree index giving SCAN its ordered walk —
+// the HiKV split of the paper's Hybrid-Index workload, with both sides
+// updated in one durable transaction per request. Deletes remove the
+// table entry only; the index keeps a stale key until the next rebuild
+// and scans filter through the table, so a deleted key is never served.
+type Store struct {
+	m     *core.Machine
+	table *txds.HashMap // NVM: durable truth
+	index *txds.BTree   // DRAM: ordered scan index, rebuilt on recovery
+	nal   *mem.Allocator
+	dal   *mem.Allocator
+}
+
+// NewStore formats a fresh store on the machine: allocators over the
+// full NVM and DRAM data regions, an empty table and index. The setup
+// writes go straight to the memory image (no transaction — this is the
+// pre-crash formatted heap, like the workload prepopulation paths) and
+// are made durable before the store serves traffic.
+func NewStore(m *core.Machine, buckets int) *Store {
+	s := &Store{
+		m:   m,
+		nal: mem.NewAllocator(mem.NVM),
+		dal: mem.NewAllocator(mem.DRAM),
+	}
+	st := m.Store()
+	s.table = txds.NewHashMap(st, s.nal, buckets)
+	s.index = txds.NewBTree(st, s.dal)
+	st.PersistLiveNVM()
+	return s
+}
+
+// Machine returns the machine the store lives on.
+func (s *Store) Machine() *core.Machine { return s.m }
+
+// Table returns the NVM hash map (tests and recovery checks).
+func (s *Store) Table() *txds.HashMap { return s.table }
+
+// Prepopulate inserts keys 1..n with deterministic valSize-byte values,
+// outside any transaction, and persists them — initial state for load
+// generation, mirroring the workload drivers' prepopulation.
+func (s *Store) Prepopulate(n, valSize int) {
+	st := s.m.Store()
+	for k := 1; k <= n; k++ {
+		v := make([]byte, valSize)
+		for i := range v {
+			v[i] = byte(uint64(k) + uint64(i))
+		}
+		s.table.Put(st, uint64(k), v)
+		s.index.Put(st, uint64(k), nil)
+	}
+	st.PersistLiveNVM()
+}
+
+// Apply executes ops as one durable transaction on the given context
+// and returns one result per op. GET/SCAN results are copied out of
+// simulated memory before the transaction ends, so callers may hold
+// them across engine runs.
+func (s *Store) Apply(c *core.Ctx, ops []Op) []OpResult {
+	results := make([]OpResult, len(ops))
+	c.Run(func(tx *core.Tx) {
+		for i := range results {
+			results[i] = OpResult{}
+		}
+		for i, op := range ops {
+			switch op.Kind {
+			case OpGet:
+				v, ok := s.table.Get(tx, op.Key)
+				results[i] = OpResult{Val: v, Found: ok}
+			case OpPut:
+				s.table.Put(tx, op.Key, op.Val)
+				s.index.Put(tx, op.Key, nil)
+				results[i] = OpResult{Written: true}
+			case OpDel:
+				ok := s.table.Delete(tx, op.Key)
+				results[i] = OpResult{Found: ok}
+			case OpScan:
+				r := OpResult{}
+				s.index.Scan(tx, op.Key, func(k uint64, _ mem.Addr) bool {
+					if v, ok := s.table.Get(tx, k); ok {
+						r.Keys = append(r.Keys, k)
+						r.Vals = append(r.Vals, v)
+					}
+					return len(r.Keys) < op.N
+				})
+				results[i] = r
+			default:
+				panic(fmt.Sprintf("server: unknown op kind %v", op.Kind))
+			}
+		}
+	})
+	return results
+}
+
+// Recover brings the store back after a power failure: the machine has
+// already replayed its redo logs (core.Machine.Recover), which restored
+// the NVM table; the DRAM index is gone — DRAM does not survive — so it
+// is rebuilt from the table's keys on a fresh DRAM arena. Mirrors the
+// programmer's obligation from the paper: recovery-relevant structures
+// live in NVM, everything volatile is reconstructable.
+func (s *Store) Recover() {
+	st := s.m.Store()
+	s.dal = mem.NewAllocator(mem.DRAM)
+	s.index = txds.NewBTree(st, s.dal)
+	for _, k := range s.table.Keys(st) {
+		s.index.Put(st, k, nil)
+	}
+}

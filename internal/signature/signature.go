@@ -198,6 +198,7 @@ const (
 	FalsePositive
 )
 
+// String names the signature-check outcome for stats and logs.
 func (k CheckKind) String() string {
 	switch k {
 	case NoConflict:

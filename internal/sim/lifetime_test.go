@@ -1,0 +1,139 @@
+package sim
+
+import "testing"
+
+// TestSequentialRuns drives one engine through several Run calls with
+// fresh bodies spawned between them — the long-lived-session shape the
+// server path depends on. Virtual time must carry across runs.
+func TestSequentialRuns(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("a", func(th *Thread) { th.Advance(100); th.Sync() })
+	if got := e.Run(); got != 100 {
+		t.Fatalf("first run ended at %v, want 100ps", got)
+	}
+	th2 := e.Spawn("b", func(th *Thread) { th.Advance(50); th.Sync() })
+	th2.Bump(e.Now()) // new arrival starts at current virtual time
+	if got := e.Run(); got != 150 {
+		t.Fatalf("second run ended at %v, want 150ps", got)
+	}
+}
+
+// TestRecycleReusesIDs checks that finished-thread slots are handed out
+// again, lowest first, and that unreclaimed slots are never reused.
+func TestRecycleReusesIDs(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(th *Thread) { th.Advance(10) })
+	}
+	e.Run()
+	if n := e.Recycle(); n != 3 {
+		t.Fatalf("Recycle reclaimed %d slots, want 3", n)
+	}
+	a := e.Spawn("x", func(th *Thread) {})
+	b := e.Spawn("y", func(th *Thread) {})
+	if a.ID() != 0 || b.ID() != 1 {
+		t.Fatalf("recycled IDs = %d,%d, want 0,1", a.ID(), b.ID())
+	}
+	c := e.Spawn("z", func(th *Thread) {})
+	d := e.Spawn("grow", func(th *Thread) {})
+	if c.ID() != 2 || d.ID() != 3 {
+		t.Fatalf("IDs after free list drained = %d,%d, want 2,3", c.ID(), d.ID())
+	}
+	if len(e.Threads()) != 4 {
+		t.Fatalf("thread table has %d slots, want 4", len(e.Threads()))
+	}
+	// Double Recycle must not re-reclaim already recycled slots.
+	e.Run()
+	if n := e.Recycle(); n != 4 {
+		t.Fatalf("second Recycle reclaimed %d, want 4", n)
+	}
+	if n := e.Recycle(); n != 0 {
+		t.Fatalf("third Recycle reclaimed %d, want 0", n)
+	}
+}
+
+// TestRecycleBoundsCores runs many single-thread batches through a
+// Recycle/Spawn/Run loop and checks the thread table never grows past
+// one slot — the property that keeps a long-lived server within its
+// machine's core count.
+func TestRecycleBoundsCores(t *testing.T) {
+	e := NewEngine(1)
+	var total Time
+	for i := 0; i < 100; i++ {
+		th := e.Spawn("w", func(th *Thread) { th.Advance(7); th.Sync() })
+		th.Bump(e.Now())
+		e.Run()
+		total += 7
+		if got := e.Now(); got != total {
+			t.Fatalf("batch %d: Now=%v, want %v", i, got, total)
+		}
+		if len(e.Threads()) != 1 {
+			t.Fatalf("batch %d: %d thread slots, want 1", i, len(e.Threads()))
+		}
+		e.Recycle()
+	}
+}
+
+// TestRestartAfterHaltNow models a power failure and reboot: HaltNow
+// mid-run, Restart, then fresh bodies run on the same engine with
+// virtual time preserved.
+func TestRestartAfterHaltNow(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("victim", func(th *Thread) {
+		th.Advance(40)
+		th.Sync()
+		e.HaltNow()
+		t.Error("body continued past HaltNow")
+	})
+	e.Spawn("bystander", func(th *Thread) {
+		for i := 0; i < 100; i++ {
+			th.Advance(1)
+			th.Sync()
+		}
+	})
+	e.Run()
+	if !e.Halted() {
+		t.Fatal("engine not halted")
+	}
+	e.Restart()
+	if e.Halted() {
+		t.Fatal("Restart left the engine halted")
+	}
+	e.Recycle()
+	ran := false
+	th := e.Spawn("reboot", func(th *Thread) { ran = true; th.Advance(5) })
+	th.Bump(e.Now())
+	e.Run()
+	if !ran {
+		t.Fatal("post-restart body never ran")
+	}
+	if e.Now() < 40 {
+		t.Fatalf("virtual time went backwards: %v", e.Now())
+	}
+}
+
+// TestRestartAfterHaltAt checks the deadline-halt flavor: Restart must
+// clear the deadline itself, or the next Run would halt immediately.
+func TestRestartAfterHaltAt(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("w", func(th *Thread) {
+		for i := 0; i < 10; i++ {
+			th.Advance(10)
+			th.Sync()
+		}
+	})
+	e.HaltAt(35)
+	e.Run()
+	if !e.Halted() {
+		t.Fatal("engine not halted at deadline")
+	}
+	e.Restart()
+	e.Recycle()
+	done := false
+	th := e.Spawn("w2", func(th *Thread) { th.Advance(10); done = true })
+	th.Bump(e.Now())
+	e.Run()
+	if !done {
+		t.Fatal("post-restart body did not complete")
+	}
+}

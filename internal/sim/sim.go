@@ -77,6 +77,7 @@ func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
 // Seconds reports t as a float count of seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// String renders the duration in the largest fitting unit (ms/us/ns/ps).
 func (t Time) String() string {
 	switch {
 	case t >= Millisecond:
@@ -109,6 +110,7 @@ type Thread struct {
 	started   bool
 	done      bool
 	suspended bool
+	recycled  bool // slot reclaimed by Engine.Recycle; a stale handle
 	body      func(*Thread)
 }
 
@@ -269,6 +271,10 @@ type Engine struct {
 	panicVal any
 	syncs    uint64 // total Sync calls (fast path + handoffs)
 	handoffs uint64 // slow-path dispatches: park/unpark goroutine switches
+	// free holds thread IDs reclaimed by Recycle, ascending; Spawn
+	// reuses them before growing the thread table, so a long-lived
+	// engine serving many short-lived bodies keeps a bounded core count.
+	free []int
 }
 
 // NewEngine returns an engine whose random decisions (backoff jitter,
@@ -324,21 +330,97 @@ func (e *Engine) CurrentClock() Time {
 }
 
 // Spawn registers a new simulated thread. All threads must be spawned
-// before Run is called.
+// outside Run (an engine whose Run has returned may spawn again — see
+// Recycle — before its next Run). IDs reclaimed by Recycle are reused,
+// lowest first, before the thread table grows.
 func (e *Engine) Spawn(name string, body func(*Thread)) *Thread {
 	if e.running {
 		panic("sim: Spawn after Run")
 	}
 	t := &Thread{
-		id:   len(e.threads),
 		name: name,
 		eng:  e,
 		park: make(chan struct{}, 1),
 		qi:   -1,
 		body: body,
 	}
-	e.threads = append(e.threads, t)
+	if len(e.free) > 0 {
+		t.id = e.free[0]
+		e.free = e.free[1:]
+		e.threads[t.id] = t
+	} else {
+		t.id = len(e.threads)
+		e.threads = append(e.threads, t)
+	}
 	return t
+}
+
+// Recycle reclaims the slot (and therefore the ID) of every finished
+// thread, making those IDs available to subsequent Spawns. It returns
+// the number of slots reclaimed. This is what lets one long-lived
+// engine serve an unbounded stream of short-lived bodies on a bounded
+// set of simulated cores: between Runs, finished workers are recycled
+// and fresh bodies take over their core IDs. Handles to recycled
+// threads are stale — the engine no longer dispatches them, and
+// Threads() reports the replacement once one is spawned. Must be
+// called outside Run.
+func (e *Engine) Recycle() int {
+	if e.running {
+		panic("sim: Recycle during Run")
+	}
+	n := 0
+	for _, t := range e.threads {
+		if t.done && !t.recycled {
+			t.recycled = true
+			e.free = append(e.free, t.id)
+			n++
+		}
+	}
+	if n > 0 {
+		// Reclaimed IDs are handed out lowest-first for determinism.
+		sortInts(e.free)
+	}
+	return n
+}
+
+// sortInts is a tiny insertion sort: the free list is short (bounded by
+// the core count) and usually already ordered.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Cancel marks a thread that has never been dispatched as finished
+// without running its body, so Recycle can reclaim its slot. After a
+// halt unwinds a batch, the threads the scheduler never reached are
+// exactly the ones Cancel is for — their work must not leak into the
+// engine's next run. It is a no-op for started or already finished
+// threads and must be called outside Run.
+func (t *Thread) Cancel() {
+	if t.eng.running {
+		panic("sim: Cancel during Run")
+	}
+	if t.started || t.done {
+		return
+	}
+	t.done = true
+}
+
+// Restart clears a halt so a stopped engine can run again — the
+// simulated machine rebooting after a power failure (HaltNow or a
+// HaltAt deadline). The halted run unwound every live thread, so
+// post-restart work arrives as fresh bodies (typically spawned into
+// Recycled slots); virtual time is preserved and keeps advancing from
+// where the failure struck. Must be called outside Run.
+func (e *Engine) Restart() {
+	if e.running {
+		panic("sim: Restart during Run")
+	}
+	e.halted = false
+	e.haltAt = -1
 }
 
 // Threads returns the spawned threads in ID order.

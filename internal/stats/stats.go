@@ -33,6 +33,7 @@ const (
 	numCauses
 )
 
+// String names the abort cause; it is the key used in JSON records.
 func (c AbortCause) String() string {
 	switch c {
 	case CauseTrueConflict:
@@ -229,6 +230,7 @@ func (s *Stats) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// String is a one-line human-readable summary of the counters.
 func (s *Stats) String() string {
 	return fmt.Sprintf("commits=%d aborts=%d (true=%d fp=%d cap=%d lock=%d) slow=%d ovf=%d rate=%.1f%%",
 		s.Commits, s.Aborts(),

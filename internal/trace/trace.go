@@ -109,6 +109,7 @@ var kindNames = [numKinds]string{
 	"wal-append", "wal-truncate", "wal-checkpoint",
 }
 
+// String names the event kind for rendered traces.
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
 		return kindNames[k]

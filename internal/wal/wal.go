@@ -36,6 +36,7 @@ const (
 	RecAbort RecordType = 3
 )
 
+// String names the record type for logs and dumps.
 func (t RecordType) String() string {
 	switch t {
 	case RecWrite:
