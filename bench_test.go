@@ -28,8 +28,9 @@ func TestSuiteCoversWrappers(t *testing.T) {
 	wrapped := map[string]bool{
 		"Fig2": true, "Fig6": true, "Fig7": true, "Fig8": true,
 		"Fig9a": true, "Fig9b": true, "Fig10": true, "Ablations": true,
-		"TxSmallCommit": true, "SignatureInsert": true, "SignatureCheck": true,
-		"RedoLogAppend": true, "LogReplay": true, "SimEngineYield": true,
+		"ShardCross": true, "TxSmallCommit": true, "SignatureInsert": true,
+		"SignatureCheck": true, "RedoLogAppend": true, "LogReplay": true,
+		"SimEngineYield": true,
 	}
 	for _, s := range bench.Specs() {
 		if !wrapped[s.Name] {
@@ -50,6 +51,7 @@ func BenchmarkFig9a(b *testing.B)           { bench.Fig9a(b) }
 func BenchmarkFig9b(b *testing.B)           { bench.Fig9b(b) }
 func BenchmarkFig10(b *testing.B)           { bench.Fig10(b) }
 func BenchmarkAblations(b *testing.B)       { bench.Ablations(b) }
+func BenchmarkShardCross(b *testing.B)      { bench.ShardCross(b) }
 func BenchmarkTxSmallCommit(b *testing.B)   { bench.TxSmallCommit(b) }
 func BenchmarkSignatureInsert(b *testing.B) { bench.SignatureInsert(b) }
 func BenchmarkSignatureCheck(b *testing.B)  { bench.SignatureCheck(b) }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	uhtmsim [-scale f] [-seed n] [-par n] [-json path] [-trace path] <experiment>
+//	uhtmsim [-scale f] [-seed n] [-par n] [-shards n] [-json path] [-trace path] <experiment>
 //	uhtmsim -crash [-scale f] [-seed n] [-par n] [-json path]
 //	uhtmsim serve [-addr host:port] [-cores n] [-prepopulate n] [-seed n]
 //	uhtmsim loadgen [-addr host:port] [-qps f] [-conns n] [-duration d] [-out path]
@@ -12,9 +12,10 @@
 //	uhtmsim trace-summary <trace.json>
 //
 // where experiment is one of: table3, fig2, fig6, fig7, fig8, fig9a,
-// fig9b, fig10, ablate, all. (The authoritative list — including
+// fig9b, fig10, ablate, scale, all. (The authoritative list — including
 // one-line descriptions — is printed by `uhtmsim -h` straight from the
-// experiment registry; a test asserts this comment tracks it.)
+// experiment registry; a test asserts this comment tracks it, and walks
+// the flag set asserting every flag appears above.)
 //
 // Independent simulation points of an experiment grid run concurrently,
 // up to -par engines at a time (default GOMAXPROCS); results are
@@ -39,13 +40,28 @@
 // file without a browser. See EXPERIMENTS.md for the schema and a
 // worked diagnosis.
 //
+// The scale experiment is the sharded scale-out axis (see
+// ARCHITECTURE.md §8): the line-address space is partitioned across N
+// independent engine shards running on real OS threads, with
+// cross-shard transactions committed by a WAL-backed two-phase
+// protocol. Its grid is total cores × shard count × conflict domains
+// (64–1024 simulated cores); -shards restricts the shard-count axis to
+// one value (the one-shard baseline always runs too, so the printed
+// speedup column stays meaningful). Scale records extend the JSON
+// schema with shards, cross_commits and cross_aborts.
+//
 // -crash runs the crash-point fault-injection sweep instead of an
 // experiment (see RECOVERY.md): every injection point of a small
 // workload exhaustively plus a seeded-random sample of a large one,
 // killing the simulation mid-protocol, running recovery and verifying
-// it against a committed-prefix oracle. One JSON record is emitted per
-// injection (point, seed, verdict); the exit status is 1 if any
-// injection's recovery violated an invariant.
+// it against a committed-prefix oracle. The sweep also covers the
+// sharded cluster: every cross-shard 2PC point (prepare logged,
+// decision logged, apply mark, per-line apply, resolution-cell
+// persist) exhaustively, plus a sample of the machine-level points
+// underneath it, verified against the same oracle extended with
+// cluster-wide atomicity. One JSON record is emitted per injection
+// (point, seed, verdict); the exit status is 1 if any injection's
+// recovery violated an invariant.
 //
 // `uhtmsim serve` runs the durable KV store as a long-lived TCP
 // service speaking a RESP-subset protocol, and `uhtmsim loadgen`
@@ -90,15 +106,7 @@ var benchRunSuiteFn = bench.RunSuite
 // directly, skipping the deferred flush and losing all buffered JSON
 // records whenever a late experiment failed.
 func run(args []string, stdout, stderr io.Writer) (code int) {
-	fs := flag.NewFlagSet("uhtmsim", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	scale := fs.Float64("scale", 1.0, "op-count scale factor (1.0 = full-size runs)")
-	seed := fs.Int64("seed", 0, "workload RNG seed override (omit to keep per-experiment defaults)")
-	par := fs.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-	jsonPath := fs.String("json", "", "write one JSON record per run to this file (\"-\" = stdout)")
-	tracePath := fs.String("trace", "", "write a Chrome trace-event file of every run to this path")
-	crashSweep := fs.Bool("crash", false, "run the crash-point fault-injection sweep instead of an experiment")
-	fs.Usage = func() { usage(fs, stderr) }
+	fs, fv := experimentFlags(stderr)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -113,7 +121,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}
 
-	if want := 1 - b2i(*crashSweep); fs.NArg() != want {
+	if want := 1 - b2i(*fv.crashSweep); fs.NArg() != want {
 		fs.Usage()
 		return 2
 	}
@@ -127,21 +135,22 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	})
 	opt := workload.RunOptions{
-		Scale:   *scale,
-		Seed:    *seed,
+		Scale:   *fv.scale,
+		Seed:    *fv.seed,
 		SeedSet: seedSet,
-		Par:     *par,
-		Trace:   *tracePath != "",
+		Par:     *fv.par,
+		Trace:   *fv.tracePath != "",
+		Shards:  *fv.shards,
 	}
 
-	enc, flush, err := jsonEmitter(*jsonPath, stdout)
+	enc, flush, err := jsonEmitter(*fv.jsonPath, stdout)
 	if err != nil {
 		fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
 		return 1
 	}
 	defer flush()
 
-	sink := newTraceSink(*tracePath)
+	sink := newTraceSink(*fv.tracePath)
 	defer func() {
 		if err := sink.write(); err != nil {
 			fmt.Fprintf(stderr, "uhtmsim: writing trace: %v\n", err)
@@ -151,7 +160,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}()
 
-	if *crashSweep {
+	if *fv.crashSweep {
 		fails, err := runCrash(stdout, opt, enc)
 		if err != nil {
 			fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
@@ -193,6 +202,37 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fmt.Fprintf(stderr, "uhtmsim: unknown experiment %q\n", name)
 	fs.Usage()
 	return 2
+}
+
+// expFlags holds the top-level flag values parsed by experimentFlags.
+type expFlags struct {
+	scale      *float64
+	seed       *int64
+	par        *int
+	shards     *int
+	jsonPath   *string
+	tracePath  *string
+	crashSweep *bool
+}
+
+// experimentFlags builds the top-level flag set. Every experiment knob
+// registers here and nowhere else: the doc-drift test walks the
+// returned set and asserts the package comment documents each flag, so
+// an undocumented knob fails CI.
+func experimentFlags(stderr io.Writer) (*flag.FlagSet, *expFlags) {
+	fs := flag.NewFlagSet("uhtmsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fv := &expFlags{
+		scale:      fs.Float64("scale", 1.0, "op-count scale factor (1.0 = full-size runs)"),
+		seed:       fs.Int64("seed", 0, "workload RNG seed override (omit to keep per-experiment defaults)"),
+		par:        fs.Int("par", 0, "max concurrent simulations (0 = GOMAXPROCS)"),
+		shards:     fs.Int("shards", 0, "restrict the scale experiment's shard axis to this count (0 = full axis)"),
+		jsonPath:   fs.String("json", "", "write one JSON record per run to this file (\"-\" = stdout)"),
+		tracePath:  fs.String("trace", "", "write a Chrome trace-event file of every run to this path"),
+		crashSweep: fs.Bool("crash", false, "run the crash-point fault-injection sweep instead of an experiment"),
+	}
+	fs.Usage = func() { usage(fs, stderr) }
+	return fs, fv
 }
 
 // jsonEmitter opens the -json sink: nil when disabled, stdout for "-",
@@ -489,7 +529,7 @@ func b2i(b bool) int {
 }
 
 func usage(fs *flag.FlagSet, w io.Writer) {
-	fmt.Fprintf(w, `usage: uhtmsim [-scale f] [-seed n] [-par n] [-json path] [-trace path] <experiment>
+	fmt.Fprintf(w, `usage: uhtmsim [-scale f] [-seed n] [-par n] [-shards n] [-json path] [-trace path] <experiment>
        uhtmsim -crash [-scale f] [-seed n] [-par n] [-json path]
 `)
 	for _, sc := range subcommands {

@@ -5,6 +5,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,9 +39,19 @@ func TestDocCommentListsAllExperiments(t *testing.T) {
 			t.Errorf("doc comment omits experiment %q — regenerate it from the registry list", n)
 		}
 	}
-	for _, f := range []string{"-scale", "-seed", "-par", "-json", "-trace", "-crash", "trace-summary"} {
+	// Every registered flag must be documented — walking the actual
+	// flag set means a knob added to experimentFlags cannot ship
+	// undocumented (the way -shards could have, had this list stayed
+	// hardcoded).
+	fs, _ := experimentFlags(io.Discard)
+	fs.VisitAll(func(f *flag.Flag) {
+		if !strings.Contains(doc, "-"+f.Name) {
+			t.Errorf("doc comment omits flag %q", "-"+f.Name)
+		}
+	})
+	for _, f := range []string{"trace-summary"} {
 		if !strings.Contains(doc, f) {
-			t.Errorf("doc comment omits flag %q", f)
+			t.Errorf("doc comment omits %q", f)
 		}
 	}
 }

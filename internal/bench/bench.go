@@ -19,6 +19,7 @@ import (
 
 	"uhtm/internal/core"
 	"uhtm/internal/mem"
+	"uhtm/internal/shard"
 	"uhtm/internal/signature"
 	"uhtm/internal/sim"
 	"uhtm/internal/wal"
@@ -46,6 +47,7 @@ func Specs() []Spec {
 		{"Fig9b", true, Fig9b},
 		{"Fig10", true, Fig10},
 		{"Ablations", true, Ablations},
+		{"ShardCross", false, ShardCross},
 		{"TxSmallCommit", false, TxSmallCommit},
 		{"SignatureInsert", false, SignatureInsert},
 		{"SignatureCheck", false, SignatureCheck},
@@ -203,6 +205,33 @@ func Ablations(b *testing.B) {
 }
 
 // --- Micro-benchmarks of the substrate ---
+
+// ShardCross measures a small sharded cluster end to end — per-shard
+// local batches plus cross-shard 2PC waves (prepare, decide, apply,
+// reclaim, resolve) — and reports the cross-shard commit count per
+// iteration. The count is a pure function of the configuration, so
+// unlike ns/op it is machine-independent and gateable in CI: a change
+// that silently stops admitting (or stops committing) cross-shard
+// transactions moves it.
+func ShardCross(b *testing.B) {
+	cfg := shard.SweepConfig()
+	cfg.Trace = false
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cross uint64
+	for i := 0; i < b.N; i++ {
+		c := shard.New(cfg)
+		res := c.Run()
+		if res.Halted {
+			b.Fatal("uninjected cluster run halted")
+		}
+		if res.CrossCommits == 0 {
+			b.Fatalf("no cross-shard commits (aborts=%d)", res.CrossAborts)
+		}
+		cross = res.CrossCommits
+	}
+	b.ReportMetric(float64(cross), "cross-shard-commits/op")
+}
 
 // TxSmallCommit measures a minimal durable transaction (one NVM line)
 // end to end through the machine.

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"uhtm/internal/cache"
 	"uhtm/internal/coherence"
@@ -124,6 +125,13 @@ type Options struct {
 	// that the final memory state equals a serial replay in commit
 	// order. Memory-hungry; off for benchmarks.
 	TrackCommits bool
+
+	// ReserveLogArea carves this many bytes off the top of the NVM log
+	// area before the redo rings are laid out, leaving [NVMLogBase +
+	// LogAreaSize - ReserveLogArea, NVMLogBase + LogAreaSize) to the
+	// caller. internal/shard places its coordinator decision log there.
+	// Zero (the default) keeps the original layout byte-identical.
+	ReserveLogArea mem.Addr
 }
 
 // DefaultOptions returns UHTM with the paper's preferred configuration
@@ -345,7 +353,7 @@ func NewMachine(eng *sim.Engine, cfg mem.Config, opts Options) *Machine {
 	// The first NVM log-area line is the checkpoint cell (see ckptAddr);
 	// the redo rings share the rest.
 	m.ckptAddr = mem.NVMLogBase
-	m.redoRings = wal.NewRings(m.store, mem.NVMLogBase+mem.LineSize, mem.LogAreaSize-mem.LineSize, cfg.Cores, true)
+	m.redoRings = wal.NewRings(m.store, mem.NVMLogBase+mem.LineSize, mem.LogAreaSize-mem.LineSize-opts.ReserveLogArea, cfg.Cores, true)
 	if tr := eng.Tracer(); tr != nil {
 		m.installTracer(tr)
 	}
@@ -438,6 +446,42 @@ func (m *Machine) DomainStats(domain int) *stats.Stats {
 // CommitLog returns the retained per-commit write images (only populated
 // when Options.TrackCommits is set).
 func (m *Machine) CommitLog() []committedTx { return m.commitLog }
+
+// NextLSN advances and returns the machine's global commit sequence
+// number. The cross-shard commit protocol (internal/shard) stamps its
+// per-shard apply marks with it so 2PC applies serialize into the same
+// LSN order as local commits on this shard's rings.
+func (m *Machine) NextLSN() uint64 {
+	m.lsnCounter++
+	return m.lsnCounter
+}
+
+// RedoLog returns core i's durable redo ring. internal/shard appends its
+// 2PC prepare write sets and apply marks there so they share the local
+// commit protocol's durability and recovery path.
+func (m *Machine) RedoLog(core int) *wal.Log { return m.redoRings.ForCore(core) }
+
+// NoteCommit registers an externally applied transaction (a cross-shard
+// 2PC apply) with the machine's commit bookkeeping: each written line's
+// image joins the pendingNVM set — so a later ReclaimLogs persists the
+// applied value, not a stale image — and, under TrackCommits, the
+// transaction is appended to the commit log. Lines are registered in
+// ascending address order for determinism. The machine takes ownership
+// of writes.
+func (m *Machine) NoteCommit(id uint64, domain int, writes map[mem.Addr]mem.Line) {
+	addrs := make([]mem.Addr, 0, len(writes))
+	for la := range writes {
+		addrs = append(addrs, la)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, la := range addrs {
+		img := writes[la]
+		m.pendingPut(la, img)
+	}
+	if m.opts.TrackCommits {
+		m.commitLog = append(m.commitLog, committedTx{ID: id, Domain: domain, Writes: writes})
+	}
+}
 
 // ActiveTxCount reports how many transactions are currently live.
 func (m *Machine) ActiveTxCount() int {

@@ -82,6 +82,12 @@ func (in *Injector) Hit(point string) {
 	}
 }
 
+// SetHalt binds the function Hit fires when the armed (point, visit) is
+// reached — normally the owning engine's HaltNow, bound once the engine
+// exists. Multi-engine sweeps (internal/shard) bind a different halt per
+// shard while sharing one injector.
+func (in *Injector) SetHalt(f func()) { in.halt = f }
+
 // Fired reports whether the armed crash was injected.
 func (in *Injector) Fired() bool { return in.fired }
 
@@ -101,6 +107,12 @@ func (in *Injector) Points() []string {
 	sort.Strings(out)
 	return out
 }
+
+// EnumerateHits expands a visit-count map into the exhaustive injection
+// list: one entry per (point, visit) pair, points sorted, visits
+// ascending. It is the enumeration step of a sweep, exported for sweeps
+// that assemble their own counts (internal/shard merges per-shard maps).
+func EnumerateHits(hits map[string]int) []Injection { return enumerate(hits) }
 
 // Enumerate expands visit counts into the exhaustive injection list:
 // one entry per (point, visit) pair, points sorted, visits ascending.

@@ -1,0 +1,158 @@
+package shard
+
+import (
+	"fmt"
+
+	"uhtm/internal/mem"
+	"uhtm/internal/wal"
+)
+
+// Recovery reports what cross-shard crash recovery found and did.
+type Recovery struct {
+	// PerShard is each machine's local replay summary (core.Recover).
+	PerShard []wal.ReplayStats
+	// Cell is the durable resolution cell: every GID sequence at or
+	// below it was fully resolved (applied everywhere or decided-abort)
+	// before the crash.
+	Cell uint64
+	// DecidedCommit / DecidedAbort hold the GID sequences whose decision
+	// records were durable in the coordinator log at the crash.
+	DecidedCommit map[uint64]bool
+	DecidedAbort  map[uint64]bool
+	// Completed counts (shard, GID) applies the completion pass finished
+	// from durable prepare records; Noted counts applies local replay
+	// had already finished and the pass only registered in the commit
+	// log.
+	Completed int
+	Noted     int
+	// Inconsistent lists protocol-invariant violations found during the
+	// pass (empty on a correct implementation).
+	Inconsistent []string
+}
+
+// Recover performs cross-shard crash recovery: every shard's machine
+// crashes (live image reverts to durable) and replays its own redo
+// rings, then the coordinator's durable evidence — the resolution cell
+// and the decision log — drives a completion pass that finishes every
+// decided-commit transaction on every participant and leaves no trace
+// of undecided or decided-abort ones.
+//
+// Correctness leans on the phase ordering of runWave: a durable
+// decision implies every participant's prepare records were durable
+// first; an absent decision implies no participant ever logged an apply
+// mark; a GID at or below the cell implies every participant applied,
+// registered, and reclaimed it before the crash.
+func (c *Cluster) Recover() Recovery {
+	rec := Recovery{
+		DecidedCommit: make(map[uint64]bool),
+		DecidedAbort:  make(map[uint64]bool),
+	}
+
+	// Power failure on every shard.
+	for _, sh := range c.shards {
+		sh.m.Crash()
+	}
+
+	// Coordinator evidence, read from shard 0's durable image (after
+	// Crash the live image is the durable one).
+	st0 := c.shards[0].m.Store()
+	rec.Cell = st0.ReadU64(c.cellAddr)
+	for _, r := range c.decLog.Records(true) {
+		switch r.Type {
+		case wal.RecCommit:
+			rec.DecidedCommit[r.LSN] = true
+		case wal.RecAbort:
+			rec.DecidedAbort[r.LSN] = true
+		}
+	}
+
+	// Per-shard durable evidence, collected before local replay appends
+	// anything: which GIDs have a durable apply mark, and which have
+	// durable prepare write records, on each shard.
+	durMark := make([]map[uint64]bool, len(c.shards))
+	durPrep := make([]map[uint64]bool, len(c.shards))
+	for k, sh := range c.shards {
+		durMark[k] = make(map[uint64]bool)
+		durPrep[k] = make(map[uint64]bool)
+		for _, r := range sh.m.DurableRedoRecords() {
+			if r.TxID < GIDBase {
+				continue
+			}
+			switch r.Type {
+			case wal.RecCommit:
+				durMark[k][r.TxID] = true
+			case wal.RecWrite:
+				durPrep[k][r.TxID] = true
+			}
+		}
+	}
+
+	// Local replay per shard: completes every transaction — local or
+	// cross — whose commit/apply mark was durable, from its logged
+	// images.
+	for _, sh := range c.shards {
+		rec.PerShard = append(rec.PerShard, sh.m.Recover())
+	}
+
+	// Completion pass: decided-commit transactions above the cell that
+	// some participant never durably marked are finished from their
+	// durable prepare records; ones local replay already applied are
+	// registered in the commit log so the cluster-wide "applied" record
+	// is uniform.
+	for _, tx := range c.waves {
+		if tx.seq <= rec.Cell || !rec.DecidedCommit[tx.seq] {
+			continue
+		}
+		for _, s := range tx.shards {
+			sh := c.shards[s]
+			ws := tx.writes[s]
+			if len(ws) == 0 {
+				continue
+			}
+			if inCommitLog(sh, tx.gid) {
+				continue // fully applied and registered before the crash
+			}
+			if !durMark[s][tx.gid] && !durPrep[s][tx.gid] {
+				// A durable decision with neither mark nor prepare records
+				// can only mean the records were reclaimed — which implies
+				// the apply completed and registered, contradicting the
+				// commit-log miss above.
+				rec.Inconsistent = append(rec.Inconsistent, fmt.Sprintf(
+					"shard %d: decided tx %s has no durable evidence and no commit-log entry", s, tx))
+				continue
+			}
+			writes := make(map[mem.Addr]mem.Line, len(ws))
+			for _, w := range ws {
+				writes[w.addr] = w.img
+			}
+			if durMark[s][tx.gid] {
+				// Local replay already applied the images; only register.
+				rec.Noted++
+			} else {
+				// Decision durable, shard unmarked: finish the apply — mark
+				// first, then the prepared images in place.
+				sh.m.RedoLog(0).Append(wal.Record{Type: wal.RecCommit, TxID: tx.gid, LSN: sh.m.NextLSN()})
+				st := sh.m.Store()
+				for _, w := range ws {
+					img := w.img
+					st.WriteLine(w.addr, &img)
+					st.PersistLine(w.addr, &img)
+				}
+				rec.Completed++
+			}
+			sh.m.NoteCommit(tx.gid, 0, writes)
+		}
+	}
+	return rec
+}
+
+// inCommitLog reports whether the machine's tracked commit log contains
+// id (requires core.Options.TrackCommits).
+func inCommitLog(sh *Shard, id uint64) bool {
+	for _, ce := range sh.m.CommitLog() {
+		if ce.ID == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"sort"
+
+	"uhtm/internal/trace"
+)
+
+// txOffsetShift positions the shard ID in remapped local transaction
+// IDs: shard k's local transaction t becomes t + k<<txOffsetShift in
+// the merged stream, keeping per-shard counters disjoint while staying
+// below GIDBase (cross-shard GIDs pass through unchanged).
+const txOffsetShift = 48
+
+// MergedTrace merges the per-shard event logs into one virtual-time-
+// ordered stream. Core IDs are remapped to the global core space
+// (shard k, core c → k*CoresPerShard+c; machine-level -1 stays -1),
+// and local transaction IDs — including the enemy/probed IDs carried in
+// EvTxAbort and EvSigProbe payloads — get a per-shard offset so they
+// stay distinct across shards. Events with equal timestamps order by
+// shard then per-shard emission order, so the merge is byte-identical
+// at any OS-thread parallelism. Returns nil when tracing was off.
+func (c *Cluster) MergedTrace() []trace.Event {
+	var out []trace.Event
+	for k, sh := range c.shards {
+		rec := sh.eng.Tracer()
+		if rec == nil {
+			continue
+		}
+		txOff := uint64(k) << txOffsetShift
+		coreOff := int32(k * c.cfg.CoresPerShard)
+		for _, ev := range rec.Events() {
+			if ev.Core >= 0 {
+				ev.Core += coreOff
+			}
+			ev.TxID = remapTx(ev.TxID, txOff)
+			switch ev.Kind {
+			case trace.EvTxAbort:
+				ev.Arg2 = remapTx(ev.Arg2, txOff) // enemy transaction
+				if ev.Addr != 0 {                 // enemy core + 1
+					ev.Addr += uint64(coreOff)
+				}
+			case trace.EvSigProbe:
+				ev.Arg2 = remapTx(ev.Arg2, txOff) // probed transaction
+			}
+			out = append(out, ev)
+		}
+	}
+	// Per-shard streams are already in deterministic emission order;
+	// a stable sort by timestamp alone therefore yields one global
+	// deterministic order (equal stamps keep shard-then-emission order).
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// remapTx applies the per-shard transaction-ID offset to local IDs,
+// leaving 0 (none) and cross-shard GIDs untouched.
+func remapTx(id, off uint64) uint64 {
+	if id == 0 || id >= GIDBase {
+		return id
+	}
+	return id + off
+}

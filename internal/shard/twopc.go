@@ -1,0 +1,350 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"uhtm/internal/mem"
+	"uhtm/internal/sim"
+	"uhtm/internal/wal"
+)
+
+// Injection points fired by the cross-shard commit protocol, in
+// protocol order, all prefixed per shard ("s<k>." + point) by the sweep.
+// Together with the wal.* points of the decision log
+// (shard.decision.append.record etc.) and the core.*/wal.*/mem.* points
+// the underlying machines fire, crashing at every point covers every
+// reachable mid-2PC durable state. See RECOVERY.md.
+const (
+	// PointPrepareLogged fires on a participant shard after one cross
+	// transaction's prepare record set (its RecWrite images plus the
+	// RecPrepare mark) is durable on the shard's redo ring. A crash here
+	// leaves a durable prepared write set with no decision: recovery
+	// discards it everywhere.
+	PointPrepareLogged = "shard.2pc.prepare.logged"
+	// PointDecisionLogged fires on shard 0 after one decision record
+	// (RecCommit or RecAbort for a GID) is durable in the coordinator
+	// decision log. A crash here commits the decided prefix of the wave:
+	// decided transactions complete during recovery, the rest vanish.
+	PointDecisionLogged = "shard.2pc.decision.logged"
+	// PointApplyMark fires on a participant shard before the per-shard
+	// apply mark (RecCommit) is appended for a decided transaction. A
+	// crash here leaves the decision durable but this shard unmarked:
+	// recovery re-applies from the prepare records.
+	PointApplyMark = "shard.2pc.apply.mark"
+	// PointApplyLine fires before each in-place line write+persist of a
+	// decided transaction's apply. A crash mid-apply leaves a torn
+	// in-place image that local replay completes from the durable mark
+	// plus prepare records.
+	PointApplyLine = "shard.2pc.apply.line"
+	// PointResolveCkpt fires on shard 0 before the resolution cell —
+	// the highest fully resolved GID sequence — persists (a single-line,
+	// hence crash-atomic, durable update). A crash here replays the
+	// round's decisions idempotently.
+	PointResolveCkpt = "shard.2pc.resolve.ckpt"
+)
+
+// PointPrefixDecision is the injection-point prefix of the coordinator
+// decision log (wal.Log.SetPointPrefix), yielding
+// shard.decision.append.record / append.ctrl / reclaim.ctrl.
+const PointPrefixDecision = "shard.decision."
+
+// Protocol latencies charged to the simulated threads driving 2PC.
+const (
+	prepareLatPerRec = 5 * sim.Nanosecond   // redo-ring append + flush
+	coordHopLat      = 200 * sim.Nanosecond // shard ↔ coordinator message
+	decisionLatPerTx = 10 * sim.Nanosecond  // decision append
+	applyLatPerLine  = 8 * sim.Nanosecond   // in-place write + persist
+)
+
+// crossWrite is one line write of a cross-shard transaction on one
+// participant shard. The full line image is captured when the prepare
+// record is logged and reused verbatim by apply and recovery, so the
+// durable log and the in-place update can never disagree.
+type crossWrite struct {
+	addr mem.Addr
+	val  uint64
+	img  mem.Line // captured at prepare
+}
+
+// crossTx is one cross-shard transaction: the ground truth the driver
+// keeps about what it issued (participants, write sets, admission
+// verdict), recorded before any phase runs so an injected crash can be
+// checked against exact intent.
+type crossTx struct {
+	gid      uint64
+	seq      uint64
+	shards   []int               // participant shard IDs, ascending
+	writes   map[int][]crossWrite // participant → writes, ascending by addr
+	admitted bool                // wave conflict admission verdict
+}
+
+// buildWave constructs round r's cross-shard transactions and runs
+// conflict admission: transactions are admitted greedily in GID order,
+// and one whose (shard, line) set overlaps an earlier admitted
+// transaction in the same wave is aborted by the coordinator (the
+// cross-shard analogue of a conflict abort). Everything is a pure
+// function of (Config, r), so waves are identical on every run.
+func (c *Cluster) buildWave(r int) []*crossTx {
+	cfg := c.cfg
+	var wave []*crossTx
+	taken := make(map[int]map[mem.Addr]bool, cfg.Shards)
+	for j := 0; j < cfg.CrossPerRound; j++ {
+		c.seq++
+		tx := &crossTx{
+			gid:    GIDBase | c.seq,
+			seq:    c.seq,
+			writes: make(map[int][]crossWrite, cfg.CrossShards),
+		}
+		base := pick(r*7+3, j, 0, cfg.Shards)
+		for i := 0; i < cfg.CrossShards; i++ {
+			tx.shards = append(tx.shards, (base+i)%cfg.Shards)
+		}
+		sort.Ints(tx.shards)
+		for i, s := range tx.shards {
+			sh := c.shards[s]
+			seen := make(map[mem.Addr]bool, cfg.WritesPerTx)
+			for w := 0; w < cfg.WritesPerTx; w++ {
+				li := pick(r*17+5, j*29+1, i*cfg.WritesPerTx+w, cfg.LinesPerShard)
+				la := sh.pool[li]
+				if seen[la] {
+					continue // duplicate pick within the same tx: one write
+				}
+				seen[la] = true
+				tx.writes[s] = append(tx.writes[s], crossWrite{
+					addr: la,
+					val:  tx.seq<<20 | uint64(i)<<10 | uint64(w+1),
+				})
+			}
+			sort.Slice(tx.writes[s], func(a, b int) bool {
+				return tx.writes[s][a].addr < tx.writes[s][b].addr
+			})
+		}
+		// Greedy admission against the wave's already-admitted sets.
+		tx.admitted = true
+	admit:
+		for _, s := range tx.shards {
+			for _, w := range tx.writes[s] {
+				if taken[s][w.addr] {
+					tx.admitted = false
+					break admit
+				}
+			}
+		}
+		if tx.admitted {
+			for _, s := range tx.shards {
+				if taken[s] == nil {
+					taken[s] = make(map[mem.Addr]bool)
+				}
+				for _, w := range tx.writes[s] {
+					taken[s][w.addr] = true
+				}
+			}
+		}
+		wave = append(wave, tx)
+	}
+	c.waves = append(c.waves, wave...)
+	return wave
+}
+
+// participants returns the distinct shards touched by the wave, in
+// index order.
+func (c *Cluster) participants(wave []*crossTx) []*Shard {
+	in := make([]bool, c.cfg.Shards)
+	for _, tx := range wave {
+		for _, s := range tx.shards {
+			in[s] = true
+		}
+	}
+	var out []*Shard
+	for k, ok := range in {
+		if ok {
+			out = append(out, c.shards[k])
+		}
+	}
+	return out
+}
+
+// runWave executes one wave's 2PC: prepare on every participant,
+// decision on shard 0, apply on every participant, a log-reclamation
+// pass on every shard, and the resolution-cell advance on shard 0.
+// Every phase is a cross-shard barrier; a halt stops the cluster after
+// the phase that observed it.
+func (c *Cluster) runWave(wave []*crossTx) {
+	parts := c.participants(wave)
+
+	// Phase 1: durable prepare on each participant.
+	if c.fanout(parts, func(sh *Shard) bool { return c.prepare(sh, wave) }) {
+		c.halted = true
+		return
+	}
+
+	// Phase 2: coordinator decision on shard 0, at a virtual time after
+	// every participant's prepare (plus a coordination hop).
+	tmax := c.maxNow()
+	if c.fanout(c.shards[:1], func(sh *Shard) bool { return c.decide(sh, wave, tmax) }) {
+		c.halted = true
+		return
+	}
+	for _, tx := range wave {
+		if tx.admitted {
+			c.crossCommits++
+		} else {
+			c.crossAborts++
+		}
+	}
+
+	// Phase 3: per-shard apply of the committed transactions, after the
+	// decision (plus the return hop).
+	tdec := c.shards[0].eng.Now()
+	if c.fanout(parts, func(sh *Shard) bool { return c.apply(sh, wave, tdec) }) {
+		c.halted = true
+		return
+	}
+
+	// Phase 4: background log reclamation on every shard — applied
+	// images persist in place, checkpoints advance, rings truncate.
+	if c.fanout(c.shards, func(sh *Shard) bool { return c.reclaim(sh) }) {
+		c.halted = true
+		return
+	}
+
+	// Phase 5: the coordinator durably resolves the wave and truncates
+	// the decision log.
+	if c.fanout(c.shards[:1], func(sh *Shard) bool { return c.resolve(sh, wave[len(wave)-1].seq) }) {
+		c.halted = true
+	}
+}
+
+// maxNow returns the latest virtual time across shards.
+func (c *Cluster) maxNow() sim.Time {
+	var t sim.Time
+	for _, sh := range c.shards {
+		if now := sh.eng.Now(); now > t {
+			t = now
+		}
+	}
+	return t
+}
+
+// advanceTo moves th forward to at (no-op when already past it).
+func advanceTo(th *sim.Thread, at sim.Time) {
+	if d := at - th.Clock(); d > 0 {
+		th.Advance(d)
+	}
+}
+
+// prepare logs, for every wave transaction with sh as participant, the
+// transaction's write images (RecWrite per line, full prepared image)
+// followed by its RecPrepare mark on the shard's ring 0 — a durable
+// prepared write set invisible to local replay until a mark commits it.
+func (c *Cluster) prepare(sh *Shard, wave []*crossTx) bool {
+	_, halted := sh.sess.Do("2pc.prepare", func(th *sim.Thread) {
+		st := sh.m.Store()
+		ring := sh.m.RedoLog(0)
+		for _, tx := range wave {
+			ws := tx.writes[sh.id]
+			if len(ws) == 0 {
+				continue
+			}
+			for i := range ws {
+				w := &ws[i]
+				img := st.PeekLine(w.addr)
+				for b := 0; b < 8; b++ {
+					img[b] = byte(w.val >> (8 * b))
+				}
+				w.img = img
+				ring.Append(wal.Record{Type: wal.RecWrite, TxID: tx.gid, Addr: w.addr, Data: img})
+				th.Advance(prepareLatPerRec)
+			}
+			ring.Append(wal.Record{Type: wal.RecPrepare, TxID: tx.gid})
+			th.Advance(prepareLatPerRec)
+			sh.hit(PointPrepareLogged)
+		}
+	})
+	return halted
+}
+
+// decide runs the coordinator: one durable decision record per wave
+// transaction (RecCommit for admitted, RecAbort for conflict-aborted),
+// appended to the decision log in GID order at a time causally after
+// every prepare.
+func (c *Cluster) decide(sh *Shard, wave []*crossTx, tmax sim.Time) bool {
+	_, halted := sh.sess.Do("2pc.decide", func(th *sim.Thread) {
+		advanceTo(th, tmax)
+		th.Advance(coordHopLat)
+		for _, tx := range wave {
+			typ := wal.RecCommit
+			if !tx.admitted {
+				typ = wal.RecAbort
+			}
+			c.decLog.Append(wal.Record{Type: typ, TxID: tx.gid, LSN: tx.seq})
+			th.Advance(decisionLatPerTx)
+			sh.hit(PointDecisionLogged)
+		}
+	})
+	return halted
+}
+
+// apply completes the committed wave transactions on sh: the durable
+// apply mark first (so a torn apply is completed by local replay from
+// the prepare records), then each prepared image in place.
+func (c *Cluster) apply(sh *Shard, wave []*crossTx, tdec sim.Time) bool {
+	_, halted := sh.sess.Do("2pc.apply", func(th *sim.Thread) {
+		advanceTo(th, tdec)
+		th.Advance(coordHopLat)
+		st := sh.m.Store()
+		ring := sh.m.RedoLog(0)
+		for _, tx := range wave {
+			ws := tx.writes[sh.id]
+			if !tx.admitted || len(ws) == 0 {
+				continue
+			}
+			sh.hit(PointApplyMark)
+			ring.Append(wal.Record{Type: wal.RecCommit, TxID: tx.gid, LSN: sh.m.NextLSN()})
+			writes := make(map[mem.Addr]mem.Line, len(ws))
+			for i := range ws {
+				w := ws[i]
+				sh.hit(PointApplyLine)
+				img := w.img
+				st.WriteLine(w.addr, &img)
+				st.PersistLine(w.addr, &img)
+				writes[w.addr] = img
+				th.Advance(applyLatPerLine)
+			}
+			sh.m.NoteCommit(tx.gid, 0, writes)
+		}
+	})
+	return halted
+}
+
+// reclaim runs one background log-reclamation pass on sh's machine from
+// a simulated thread (so injected crashes inside it halt the engine).
+func (c *Cluster) reclaim(sh *Shard) bool {
+	_, halted := sh.sess.Do("2pc.reclaim", func(th *sim.Thread) {
+		sh.m.ReclaimLogs()
+	})
+	return halted
+}
+
+// resolve durably advances the resolution cell to seq — every cross
+// transaction with sequence <= seq is fully applied (or decided-abort)
+// and reclaimed everywhere — then truncates the decision log, whose
+// records are now redundant with the cell.
+func (c *Cluster) resolve(sh *Shard, seq uint64) bool {
+	_, halted := sh.sess.Do("2pc.resolve", func(th *sim.Thread) {
+		st := sh.m.Store()
+		sh.hit(PointResolveCkpt)
+		st.WriteU64(c.cellAddr, seq)
+		ln := st.PeekLine(c.cellAddr)
+		st.PersistLine(c.cellAddr, &ln)
+		th.Advance(decisionLatPerTx)
+		c.decLog.Reclaim(c.decLog.Head())
+	})
+	return halted
+}
+
+// String identifies a cross transaction in diagnostics.
+func (tx *crossTx) String() string {
+	return fmt.Sprintf("gid=%#x seq=%d shards=%v admitted=%v", tx.gid, tx.seq, tx.shards, tx.admitted)
+}

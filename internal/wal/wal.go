@@ -34,6 +34,13 @@ const (
 	// RecAbort marks TxID aborted; its RecWrite records are dead (redo)
 	// or must be applied to roll back (undo).
 	RecAbort RecordType = 3
+	// RecPrepare is the 2PC prepare mark for a cross-shard transaction
+	// (internal/shard): all preceding RecWrite records of TxID on this
+	// ring are a durable prepared write set, but the transaction's fate
+	// rests with the coordinator's decision record. Local replay ignores
+	// it — a prepared-but-undecided group has no RecCommit and is
+	// discarded like any uncommitted transaction.
+	RecPrepare RecordType = 4
 )
 
 // String names the record type for logs and dumps.
@@ -45,6 +52,8 @@ func (t RecordType) String() string {
 		return "commit"
 	case RecAbort:
 		return "abort"
+	case RecPrepare:
+		return "prepare"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
@@ -173,6 +182,12 @@ type Log struct {
 	// simulation between any two protocol steps.
 	hook func(point string)
 
+	// pointPrefix, when non-empty, overrides the default
+	// "wal.redo."/"wal.undo." injection-point prefix — used by logs that
+	// are neither (the shard coordinator's decision log) so their crash
+	// points get their own namespace.
+	pointPrefix string
+
 	// tracer, when set, receives append/truncate events; traceNow
 	// supplies virtual timestamps and ringCore identifies the ring.
 	tracer   *trace.Recorder
@@ -203,11 +218,18 @@ const (
 )
 
 func (l *Log) kind() string {
+	if l.pointPrefix != "" {
+		return l.pointPrefix
+	}
 	if l.persist {
 		return "wal.redo."
 	}
 	return "wal.undo."
 }
+
+// SetPointPrefix overrides the ring's injection-point prefix (default
+// "wal.redo."/"wal.undo." by durability). The prefix should end in ".".
+func (l *Log) SetPointPrefix(p string) { l.pointPrefix = p }
 
 func (l *Log) hit(suffix string) {
 	if l.hook != nil {

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"uhtm/internal/crash"
 	"uhtm/internal/harness"
+	"uhtm/internal/shard"
 	"uhtm/internal/stats"
 )
 
@@ -16,9 +18,18 @@ import (
 // a small floor so even smoke runs inject a few large-workload crashes).
 const crashSamplesFullScale = 96
 
+// shardSamplesFullScale is the matching sample size for non-2PC points
+// of the sharded cluster (the core/wal/mem protocol steps running under
+// a sharded run); the 2PC points themselves (shard.*) are always swept
+// exhaustively.
+const shardSamplesFullScale = 32
+
 // RunCrashSweep executes the crash-point fault-injection sweep: every
 // (point, visit) pair of the small workload exhaustively, plus a
-// seeded-random sample of the large workload's pairs, each as an
+// seeded-random sample of the large workload's pairs, plus the sharded
+// cluster — every 2PC protocol point (prepare logged, decision logged,
+// apply mark, per-line apply, resolution-cell persist) exhaustively and
+// a sample of the machine-level points underneath it — each as an
 // independent deterministic simulation fanned out across the harness
 // worker pool. The returned results carry one record per injection
 // (Point/Visit/Verdict populated) in a stable order; the table folds
@@ -61,7 +72,29 @@ func RunCrashSweep(opt RunOptions) (*stats.Table, []Result, error) {
 		jobs = append(jobs, job{large, inj})
 	}
 
-	specs := make([]harness.Spec[Result], len(jobs))
+	scfg := shard.SweepConfig()
+	if opt.seedOverride() {
+		scfg.Seed = opt.Seed
+	}
+	shardInjs, _, err := shard.Enumerate(scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var twoPC, machine []crash.Injection
+	for _, inj := range shardInjs {
+		if strings.Contains(inj.Point, "shard.") {
+			twoPC = append(twoPC, inj)
+		} else {
+			machine = append(machine, inj)
+		}
+	}
+	nShard := int(math.Ceil(shardSamplesFullScale * scale))
+	if nShard < 4 {
+		nShard = 4
+	}
+	shardJobs := append(twoPC, crash.Sample(machine, nShard, scfg.Seed)...)
+
+	specs := make([]harness.Spec[Result], len(jobs), len(jobs)+len(shardJobs))
 	for i, j := range jobs {
 		j := j
 		specs[i] = harness.Spec[Result]{
@@ -86,6 +119,32 @@ func RunCrashSweep(opt RunOptions) (*stats.Table, []Result, error) {
 				}
 			},
 		}
+	}
+	for _, inj := range shardJobs {
+		inj := inj
+		specs = append(specs, harness.Spec[Result]{
+			Experiment: "crash",
+			System:     fmt.Sprintf("shard-%dx%d", scfg.Shards, scfg.CoresPerShard),
+			Bench:      inj.Point,
+			Seed:       scfg.Seed,
+			Run: func() Result {
+				start := time.Now()
+				o := shard.RunInjection(scfg, inj)
+				return Result{
+					Experiment: "crash",
+					System:     o.Workload,
+					Bench:      Bench(o.Point),
+					Seed:       o.Seed,
+					Stats:      o.Stats,
+					Elapsed:    o.Elapsed,
+					Wall:       time.Since(start),
+					Point:      o.Point,
+					Visit:      o.Visit,
+					Verdict:    o.Verdict,
+					Shards:     scfg.Shards,
+				}
+			},
+		})
 	}
 	results := harness.Execute(specs, opt.Par)
 	return foldCrash(results), results, nil

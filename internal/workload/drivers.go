@@ -112,6 +112,13 @@ type Result struct {
 	Point   string
 	Visit   int
 	Verdict string
+
+	// Sharded scale-out runs only (experiment "scale"): the shard count
+	// of the cluster and its cross-shard 2PC commit/abort totals. Stats
+	// counts local (single-shard) transactions.
+	Shards       int
+	CrossCommits uint64
+	CrossAborts  uint64
 }
 
 // Throughput returns committed transactions per simulated second.

@@ -25,6 +25,10 @@ type RunOptions struct {
 	// Trace attaches a trace.Recorder to every run's engine; each
 	// Result then carries the run's full event stream in TraceEvents.
 	Trace bool
+	// Shards restricts the scale experiment's shard axis to one shard
+	// count (plus the one-shard baseline the speedup column needs);
+	// 0 runs the full axis. Other experiments ignore it.
+	Shards int
 }
 
 // seedOverride reports whether the options carry an explicit seed.
@@ -63,6 +67,7 @@ var registry = []Experiment{
 	{"fig9b", "Dual KV store vs footprint (Fig. 9b)", fig9bPlan},
 	{"fig10", "Volatile transactions: undo vs redo DRAM logging (Fig. 10)", fig10Plan},
 	{"ablate", "Design-choice ablations (resolution policy, DRAM cache, isolation, DRAM log)", ablationPlan},
+	{"scale", "Sharded scale-out: throughput and abort rate vs cores × shards × domains", scalePlan},
 }
 
 // Experiments lists the registry (name and description only).
@@ -134,6 +139,11 @@ type resultJSON struct {
 	Point   string `json:"point,omitempty"`
 	Visit   int    `json:"visit,omitempty"`
 	Verdict string `json:"verdict,omitempty"`
+
+	// Sharded scale-out records only (experiment "scale").
+	Shards       int    `json:"shards,omitempty"`
+	CrossCommits uint64 `json:"cross_commits,omitempty"`
+	CrossAborts  uint64 `json:"cross_aborts,omitempty"`
 }
 
 // MarshalJSON emits the flat per-run record (see resultJSON).
@@ -151,6 +161,9 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		Point:        r.Point,
 		Visit:        r.Visit,
 		Verdict:      r.Verdict,
+		Shards:       r.Shards,
+		CrossCommits: r.CrossCommits,
+		CrossAborts:  r.CrossAborts,
 	})
 }
 
@@ -162,17 +175,20 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		return err
 	}
 	*r = Result{
-		Experiment:  w.Experiment,
-		System:      w.System,
-		Bench:       Bench(w.Bench),
-		FootprintKB: w.FootprintKB,
-		Seed:        w.Seed,
-		Stats:       w.Stats,
-		Elapsed:     sim.Time(w.SimElapsedPS),
-		Wall:        time.Duration(w.WallMS * float64(time.Millisecond)),
-		Point:       w.Point,
-		Visit:       w.Visit,
-		Verdict:     w.Verdict,
+		Experiment:   w.Experiment,
+		System:       w.System,
+		Bench:        Bench(w.Bench),
+		FootprintKB:  w.FootprintKB,
+		Seed:         w.Seed,
+		Stats:        w.Stats,
+		Elapsed:      sim.Time(w.SimElapsedPS),
+		Wall:         time.Duration(w.WallMS * float64(time.Millisecond)),
+		Point:        w.Point,
+		Visit:        w.Visit,
+		Verdict:      w.Verdict,
+		Shards:       w.Shards,
+		CrossCommits: w.CrossCommits,
+		CrossAborts:  w.CrossAborts,
 	}
 	return nil
 }
