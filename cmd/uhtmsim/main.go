@@ -6,7 +6,7 @@
 //
 //	uhtmsim [-scale f] [-seed n] [-par n] [-shards n] [-json path] [-trace path] <experiment>
 //	uhtmsim -crash [-scale f] [-seed n] [-par n] [-json path]
-//	uhtmsim serve [-addr host:port] [-cores n] [-prepopulate n] [-seed n]
+//	uhtmsim serve [-addr host:port] [-shards n] [-cores n] [-prepopulate n] [-seed n]
 //	uhtmsim loadgen [-addr host:port] [-qps f] [-conns n] [-duration d] [-out path]
 //	uhtmsim bench [-out path] [-compare baseline.json] [-tol f]
 //	uhtmsim trace-summary <trace.json>

@@ -29,7 +29,7 @@ type subcommand struct {
 var subcommands = []subcommand{
 	{
 		name:     "serve",
-		synopsis: "uhtmsim serve [-addr host:port] [-cores n] [-prepopulate n] [-seed n]",
+		synopsis: "uhtmsim serve [-addr host:port] [-shards n] [-cores n] [-prepopulate n] [-seed n]",
 		desc:     "run the durable KV store as a long-lived network service (see SERVING.md)",
 		run:      serveCmd,
 	},
@@ -76,7 +76,8 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("uhtmsim serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:6421", "TCP listen address (port 0 picks a free port)")
-	cores := fs.Int("cores", 4, "simulated cores = requests executing concurrently")
+	shards := fs.Int("shards", 1, "key-hashed shards; >1 runs cross-shard MULTI batches through 2PC")
+	cores := fs.Int("cores", 4, "simulated cores per shard = requests executing concurrently")
 	buckets := fs.Int("buckets", 1<<15, "NVM hash-table buckets")
 	seed := fs.Int64("seed", 42, "engine RNG seed")
 	prepop := fs.Int("prepopulate", 0, "insert keys 1..n before serving")
@@ -90,6 +91,7 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	s := server.New(server.Config{
 		Addr:            *addr,
+		Shards:          *shards,
 		Cores:           *cores,
 		Buckets:         *buckets,
 		Seed:            *seed,
@@ -100,7 +102,7 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "uhtmsim: serving on %s (cores=%d, prepopulated=%d)\n", s.Addr(), *cores, *prepop)
+	fmt.Fprintf(stdout, "uhtmsim: serving on %s (shards=%d, cores=%d, prepopulated=%d)\n", s.Addr(), *shards, *cores, *prepop)
 	if serveReady != nil {
 		serveReady <- s.Addr().String()
 	}
@@ -134,8 +136,9 @@ func loadgenCmd(args []string, stdout, stderr io.Writer) int {
 	keyspace := fs.Uint64("keyspace", 10000, "keys drawn from [1, keyspace]")
 	dist := fs.String("dist", server.DistZipf, "key distribution: zipf or uniform")
 	zipfS := fs.Float64("zipf-s", 1.2, "Zipf skew parameter (>1)")
-	readfrac := fs.Float64("readfrac", 0.8, "fraction of read requests")
+	readfrac := fs.Float64("readfrac", 0.8, "fraction of read requests (an explicit 0 means write-only)")
 	scanfrac := fs.Float64("scanfrac", 0, "fraction of reads that are SCANs")
+	crossfrac := fs.Float64("crossfrac", 0, "fraction of requests forced onto >=2 shards as MULTI..EXEC (sharded server only)")
 	scancount := fs.Int("scancount", 10, "SCAN count argument")
 	batch := fs.Int("batch", 1, "ops per request; >1 wraps them in MULTI..EXEC")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
@@ -163,20 +166,28 @@ func loadgenCmd(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		out = f
 	}
+	readfracSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "readfrac" {
+			readfracSet = true
+		}
+	})
 	rep, err := server.RunLoad(server.LoadConfig{
-		Addr:      *addr,
-		Conns:     *conns,
-		QPS:       *qps,
-		Duration:  *dur,
-		KeySpace:  *keyspace,
-		Dist:      *dist,
-		ZipfS:     *zipfS,
-		ReadFrac:  *readfrac,
-		ScanFrac:  *scanfrac,
-		ScanCount: *scancount,
-		BatchSize: *batch,
-		Seed:      *seed,
-		Out:       out,
+		Addr:        *addr,
+		Conns:       *conns,
+		QPS:         *qps,
+		Duration:    *dur,
+		KeySpace:    *keyspace,
+		Dist:        *dist,
+		ZipfS:       *zipfS,
+		ReadFrac:    *readfrac,
+		ReadFracSet: readfracSet,
+		ScanFrac:    *scanfrac,
+		CrossFrac:   *crossfrac,
+		ScanCount:   *scancount,
+		BatchSize:   *batch,
+		Seed:        *seed,
+		Out:         out,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "uhtmsim: %v\n", err)
@@ -188,6 +199,14 @@ func loadgenCmd(args []string, stdout, stderr io.Writer) int {
 		rep.P50us, rep.P99us, rep.P999us, rep.MaxUs)
 	fmt.Fprintf(stdout, "loadgen: server committed %d txs, aborted %d (abort rate %.3f)\n",
 		rep.Commits, rep.Aborts, rep.AbortRate)
+	if rep.CrossFrac > 0 {
+		fmt.Fprintf(stdout, "loadgen: cross-shard 2PC committed %d txs, aborted %d\n",
+			rep.CrossCommits, rep.CrossAborts)
+	}
+	if rep.WorkersDied > 0 {
+		fmt.Fprintf(stdout, "loadgen: %d worker(s) died mid-run (last error: %s) — run is invalid\n",
+			rep.WorkersDied, rep.LastError)
+	}
 	if rep.Saturated {
 		fmt.Fprintln(stdout, "loadgen: SATURATED — the server could not hold the target rate; achieved QPS is the saturation throughput")
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"uhtm/internal/shard"
 	"uhtm/internal/stats"
 )
 
@@ -50,6 +51,14 @@ type LoadConfig struct {
 	// ReadFrac is the GET fraction; the rest are PUTs (with an
 	// occasional SCAN when ScanFrac > 0). Default 0.8.
 	ReadFrac float64
+	// ReadFracSet marks ReadFrac as explicitly chosen, so 0 means a
+	// write-only workload instead of "use the default" — the same
+	// sentinel split the CLI applies to -seed 0.
+	ReadFracSet bool
+	// CrossFrac is the fraction of requests issued as MULTI…EXEC
+	// batches whose keys are forced onto at least two shards, exercising
+	// the server's 2PC path. Requires a sharded server. Default 0.
+	CrossFrac float64
 	// ScanFrac carves SCANs out of the read fraction. Default 0.
 	ScanFrac float64
 	// ScanCount is the count argument SCANs use. Default 10.
@@ -86,9 +95,10 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.ZipfS <= 1 {
 		c.ZipfS = 1.2
 	}
-	if c.ReadFrac < 0 || c.ReadFrac > 1 {
-		c.ReadFrac = 0.8
-	} else if c.ReadFrac == 0 {
+	if c.ReadFrac < 0 || c.ReadFrac > 1 || (c.ReadFrac == 0 && !c.ReadFracSet) {
+		// Out-of-range always falls back; a zero only when it is the
+		// unset zero value, so an explicit ReadFrac 0 (write-only
+		// workload) survives.
 		c.ReadFrac = 0.8
 	}
 	if c.ScanCount <= 0 {
@@ -117,15 +127,24 @@ type LoadReport struct {
 	KeySpace    uint64  `json:"key_space"`
 	ReadFrac    float64 `json:"read_frac"`
 	ScanFrac    float64 `json:"scan_frac"`
+	CrossFrac   float64 `json:"cross_frac,omitempty"`
 	BatchSize   int     `json:"batch_size"`
 	TargetQPS   float64 `json:"target_qps"`
 	DurationS   float64 `json:"duration_s"`
 	Requests    uint64  `json:"requests"`
 	Errors      uint64  `json:"errors"`
 	AchievedQPS float64 `json:"achieved_qps"`
-	// Saturated: the generator could not hold the target rate — achieved
-	// throughput is the saturation throughput at this configuration.
+	// Saturated: the generator could not hold the target rate (or lost
+	// workers) — achieved throughput is the saturation throughput at
+	// this configuration, or invalid if workers died.
 	Saturated bool `json:"saturated"`
+	// WorkersDied counts workers that exited early on a connection or
+	// issue error; any nonzero value also marks the run Saturated, since
+	// the surviving workers cannot hold the configured rate.
+	WorkersDied int `json:"workers_died,omitempty"`
+	// LastError carries the most recent worker error (died workers
+	// included), for diagnosing invalid runs.
+	LastError string `json:"last_error,omitempty"`
 
 	P50us  float64 `json:"p50_us"`
 	P99us  float64 `json:"p99_us"`
@@ -138,6 +157,11 @@ type LoadReport struct {
 	Commits   uint64  `json:"commits"`
 	Aborts    uint64  `json:"aborts"`
 	AbortRate float64 `json:"abort_rate"`
+
+	// Cross-shard 2PC counters over the run window (STATS delta);
+	// nonzero only against a sharded server with CrossFrac > 0.
+	CrossCommits uint64 `json:"cross_commits,omitempty"`
+	CrossAborts  uint64 `json:"cross_aborts,omitempty"`
 }
 
 // statsDoc mirrors the STATS reply shape for decoding.
@@ -172,6 +196,7 @@ type worker struct {
 	sent    uint64
 	errs    uint64
 	behind  bool // fell behind its open-loop schedule
+	died    bool // exited early on a connection/issue error
 	lastErr error
 }
 
@@ -184,6 +209,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	before, err := fetchStats(cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: server not reachable: %w", err)
+	}
+	shards := before.Server.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if cfg.CrossFrac > 0 && shards < 2 {
+		return nil, fmt.Errorf("loadgen: cross-shard fraction %.2f requires a sharded server (server has %d shard)", cfg.CrossFrac, shards)
 	}
 	interval := time.Duration(float64(cfg.Conns) / cfg.QPS * float64(time.Second))
 	if interval <= 0 {
@@ -199,7 +231,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runWorker(cfg, w, start, deadline, interval)
+			runWorker(cfg, w, shards, start, deadline, interval)
 		}()
 	}
 	wg.Wait()
@@ -212,12 +244,16 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	var all []float64
 	var sent, errs uint64
 	saturated := false
+	died := 0
 	var lastErr error
 	for _, w := range workers {
 		all = append(all, w.lat...)
 		sent += w.sent
 		errs += w.errs
 		saturated = saturated || w.behind
+		if w.died {
+			died++
+		}
 		if w.lastErr != nil {
 			lastErr = w.lastErr
 		}
@@ -239,6 +275,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		KeySpace:    cfg.KeySpace,
 		ReadFrac:    cfg.ReadFrac,
 		ScanFrac:    cfg.ScanFrac,
+		CrossFrac:   cfg.CrossFrac,
 		BatchSize:   cfg.BatchSize,
 		TargetQPS:   cfg.QPS,
 		DurationS:   elapsed.Seconds(),
@@ -262,6 +299,17 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if rep.AchievedQPS < 0.9*cfg.QPS {
 		rep.Saturated = true
 	}
+	rep.CrossCommits = after.Server.CrossCommits - before.Server.CrossCommits
+	rep.CrossAborts = after.Server.CrossAborts - before.Server.CrossAborts
+	if died > 0 {
+		// A dead worker stops issuing its share of the schedule: the run
+		// cannot have held the target rate and its numbers are suspect.
+		rep.WorkersDied = died
+		rep.Saturated = true
+	}
+	if lastErr != nil {
+		rep.LastError = lastErr.Error()
+	}
 	if cfg.Out != nil {
 		b, err := json.Marshal(rep)
 		if err != nil {
@@ -275,10 +323,12 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 }
 
 // runWorker runs one connection's open-loop schedule.
-func runWorker(cfg LoadConfig, w *worker, start, deadline time.Time, interval time.Duration) {
+func runWorker(cfg LoadConfig, w *worker, shards int, start, deadline time.Time, interval time.Duration) {
 	c, err := Dial(cfg.Addr)
 	if err != nil {
 		w.lastErr = err
+		w.died = true
+		w.errs++
 		return
 	}
 	defer c.Close()
@@ -300,11 +350,16 @@ func runWorker(cfg LoadConfig, w *worker, start, deadline time.Time, interval ti
 		} else if now.Sub(sched) > interval {
 			w.behind = true // open-loop backlog: cannot hold the rate
 		}
-		cmds := buildRequest(cfg, rng, zipf)
+		cmds := buildRequest(cfg, rng, zipf, shards)
 		ok, err := issue(c, cmds)
 		if err != nil {
+			// The connection is gone; stop this worker, but leave the
+			// evidence — a silently vanished worker makes the report lie
+			// about the offered rate.
 			w.lastErr = err
-			return // connection is gone; stop this worker
+			w.died = true
+			w.errs++
+			return
 		}
 		w.sent++
 		if !ok {
@@ -322,35 +377,78 @@ func pickKey(cfg LoadConfig, rng *rand.Rand, zipf *rand.Zipf) uint64 {
 	return uint64(rng.Int63n(int64(cfg.KeySpace))) + 1
 }
 
-// buildOp builds one random data command.
-func buildOp(cfg LoadConfig, rng *rand.Rand, zipf *rand.Zipf) [][]byte {
-	key := strconv.FormatUint(pickKey(cfg, rng, zipf), 10)
+// buildOp builds one random data command. noScan suppresses SCAN (keeps
+// it for MULTI groups on a sharded server, where SCAN is rejected
+// inside transactions) by reclassifying the draw as a GET.
+func buildOp(cfg LoadConfig, rng *rand.Rand, zipf *rand.Zipf, noScan bool) [][]byte {
+	return buildOpKey(cfg, rng, pickKey(cfg, rng, zipf), noScan)
+}
+
+// buildOpKey builds one random data command against a chosen key.
+func buildOpKey(cfg LoadConfig, rng *rand.Rand, key uint64, noScan bool) [][]byte {
+	ks := strconv.FormatUint(key, 10)
 	r := rng.Float64()
 	switch {
-	case r < cfg.ReadFrac*cfg.ScanFrac:
-		return [][]byte{[]byte("SCAN"), []byte(key), []byte(strconv.Itoa(cfg.ScanCount))}
+	case !noScan && r < cfg.ReadFrac*cfg.ScanFrac:
+		return [][]byte{[]byte("SCAN"), []byte(ks), []byte(strconv.Itoa(cfg.ScanCount))}
 	case r < cfg.ReadFrac:
-		return [][]byte{[]byte("GET"), []byte(key)}
+		return [][]byte{[]byte("GET"), []byte(ks)}
 	default:
 		size := cfg.ValueSizes[rng.Intn(len(cfg.ValueSizes))]
 		val := make([]byte, size)
 		for i := range val {
 			val[i] = byte('a' + rng.Intn(26))
 		}
-		return [][]byte{[]byte("PUT"), []byte(key), val}
+		return [][]byte{[]byte("PUT"), []byte(ks), val}
 	}
 }
 
-// buildRequest assembles one request: a single command, or a
-// MULTI..EXEC group when BatchSize > 1.
-func buildRequest(cfg LoadConfig, rng *rand.Rand, zipf *rand.Zipf) [][][]byte {
-	if cfg.BatchSize <= 1 {
-		return [][][]byte{buildOp(cfg, rng, zipf)}
+// buildRequest assembles one request: a single command, a MULTI..EXEC
+// group when BatchSize > 1, or — with probability CrossFrac against a
+// sharded server — a MULTI..EXEC group whose keys are forced onto at
+// least two shards, guaranteeing the request exercises the 2PC path.
+func buildRequest(cfg LoadConfig, rng *rand.Rand, zipf *rand.Zipf, shards int) [][][]byte {
+	if shards > 1 && cfg.CrossFrac > 0 && rng.Float64() < cfg.CrossFrac {
+		return buildCross(cfg, rng, zipf, shards)
 	}
+	if cfg.BatchSize <= 1 {
+		return [][][]byte{buildOp(cfg, rng, zipf, false)}
+	}
+	noScan := shards > 1
 	cmds := make([][][]byte, 0, cfg.BatchSize+2)
 	cmds = append(cmds, [][]byte{[]byte("MULTI")})
 	for i := 0; i < cfg.BatchSize; i++ {
-		cmds = append(cmds, buildOp(cfg, rng, zipf))
+		cmds = append(cmds, buildOp(cfg, rng, zipf, noScan))
+	}
+	cmds = append(cmds, [][]byte{[]byte("EXEC")})
+	return cmds
+}
+
+// buildCross assembles one guaranteed-cross-shard MULTI..EXEC group of
+// max(BatchSize, 2) ops: the first key is drawn normally, the second is
+// redrawn until its home shard differs (bounded scan of the key space
+// as a last resort — ShardOf is deterministic, so the generator can
+// route without asking the server), and the rest are unconstrained.
+func buildCross(cfg LoadConfig, rng *rand.Rand, zipf *rand.Zipf, shards int) [][][]byte {
+	n := cfg.BatchSize
+	if n < 2 {
+		n = 2
+	}
+	k0 := pickKey(cfg, rng, zipf)
+	home := shard.ShardOf(k0, shards)
+	k1 := pickKey(cfg, rng, zipf)
+	for tries := 0; shard.ShardOf(k1, shards) == home && tries < 64; tries++ {
+		k1 = pickKey(cfg, rng, zipf)
+	}
+	for delta := uint64(1); shard.ShardOf(k1, shards) == home; delta++ {
+		k1 = k0 + delta // deterministic fallback sweep over adjacent keys
+	}
+	cmds := make([][][]byte, 0, n+2)
+	cmds = append(cmds, [][]byte{[]byte("MULTI")})
+	cmds = append(cmds, buildOpKey(cfg, rng, k0, true))
+	cmds = append(cmds, buildOpKey(cfg, rng, k1, true))
+	for i := 2; i < n; i++ {
+		cmds = append(cmds, buildOp(cfg, rng, zipf, true))
 	}
 	cmds = append(cmds, [][]byte{[]byte("EXEC")})
 	return cmds

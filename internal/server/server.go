@@ -12,8 +12,8 @@ import (
 	"time"
 
 	"uhtm/internal/core"
-	"uhtm/internal/harness"
 	"uhtm/internal/mem"
+	"uhtm/internal/shard"
 	"uhtm/internal/sim"
 	"uhtm/internal/stats"
 )
@@ -23,8 +23,15 @@ type Config struct {
 	// Addr is the TCP listen address; ":0" picks a free port.
 	Addr string
 	// Cores bounds how many requests execute concurrently as simulated
-	// threads in one engine batch (the machine's core count). Default 4.
+	// threads in one engine batch per shard (each machine's core
+	// count). Default 4.
 	Cores int
+	// Shards partitions the key space across this many engine+machine
+	// shards (shard.ShardOf key hashing). 1 — the default — serves the
+	// single-machine fast path, bit-identical to a pre-sharding server;
+	// N > 1 routes MULTI…EXEC batches that straddle shards through the
+	// cross-shard 2PC coordinator.
+	Shards int
 	// Buckets sizes the NVM hash table. Default 1<<15.
 	Buckets int
 	// Seed seeds the engine's deterministic RNG. Default 42.
@@ -50,6 +57,9 @@ func (c Config) withDefaults() Config {
 	if c.Cores <= 0 {
 		c.Cores = 4
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.Buckets <= 0 {
 		c.Buckets = 1 << 15
 	}
@@ -66,15 +76,18 @@ func (c Config) withDefaults() Config {
 type reqKind int
 
 const (
-	reqOps   reqKind = iota // execute ops as one durable transaction
-	reqStats                // marshal server+machine counters
-	reqCrash                // simulated power failure + recovery
+	reqOps     reqKind = iota // single-shard ops as one durable transaction
+	reqCross                  // multi-shard ops through the 2PC coordinator
+	reqScanAll                // SCAN broadcast across every shard, merged
+	reqStats                  // marshal server+machine counters
+	reqCrash                  // simulated cluster power failure + recovery
 )
 
 // request is one unit of work funneled to the engine loop. The loop
 // fills results/statsJSON/err and closes done.
 type request struct {
 	kind      reqKind
+	shard     int // reqOps: home shard of every op
 	ops       []Op
 	results   []OpResult
 	applied   bool
@@ -90,17 +103,20 @@ var errLostPower = errors.New("server lost power mid-request; state recovered, r
 // errShuttingDown rejects work submitted after shutdown began.
 var errShuttingDown = errors.New("server shutting down")
 
-// Server owns the long-lived simulated machine and serves the wire
-// protocol on a TCP listener. All simulation state (engine, machine,
-// store) is owned exclusively by the engine-loop goroutine; connection
-// handlers communicate with it only through requests, so the engine
-// stays the single-threaded world sim.Engine requires.
+// Server owns a long-lived simulated cluster — one engine+machine
+// shard by default, N key-hashed shards when Config.Shards > 1 — and
+// serves the wire protocol on a TCP listener. All simulation state
+// (engines, machines, stores, the 2PC coordinator) is owned exclusively
+// by the engine-loop goroutine; connection handlers communicate with it
+// only through requests, so every engine stays the single-threaded
+// world sim.Engine requires (shard fan-out inside a wave goes through
+// the harness worker pool, one shard per OS thread, never two threads
+// in one shard).
 type Server struct {
-	cfg   Config
-	eng   *sim.Engine
-	m     *core.Machine
-	sess  *harness.Session
-	store *Store
+	cfg     Config
+	cluster *shard.Cluster
+	shards  []*shard.Shard
+	stores  []*Store
 
 	ln        net.Listener
 	reqCh     chan *request
@@ -121,51 +137,72 @@ type Server struct {
 	crashes  uint64
 }
 
-// New builds the simulated machine and durable store (prepopulated if
-// configured) without listening yet.
+// New builds the simulated cluster and its durable per-shard stores
+// (prepopulated if configured) without listening yet.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	mc := mem.DefaultConfig()
-	if cfg.Geometry != nil {
-		mc = *cfg.Geometry
-	}
-	mc.Cores = cfg.Cores
 	opts := core.DefaultOptions()
 	opts.Paranoid = false
 	if cfg.Options != nil {
 		opts = *cfg.Options
 	}
-	eng := sim.NewEngine(cfg.Seed)
-	m := core.NewMachine(eng, mc, opts)
+	cl := shard.NewServing(shard.Config{
+		Shards:        cfg.Shards,
+		CoresPerShard: cfg.Cores,
+		Seed:          cfg.Seed,
+		Opts:          opts,
+		Geom:          cfg.Geometry,
+	})
 	s := &Server{
 		cfg:      cfg,
-		eng:      eng,
-		m:        m,
-		sess:     harness.NewSession(eng),
-		store:    NewStore(m, cfg.Buckets),
-		reqCh:    make(chan *request, 4*cfg.Cores),
+		cluster:  cl,
+		shards:   cl.Shards(),
+		reqCh:    make(chan *request, 4*cfg.Cores*cfg.Shards),
 		closing:  make(chan struct{}),
 		loopDone: make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 	}
+	for _, sh := range s.shards {
+		s.stores = append(s.stores, NewStore(sh.Machine(), cfg.Buckets))
+	}
 	if cfg.Prepopulate > 0 {
-		s.store.Prepopulate(cfg.Prepopulate, cfg.PrepopValueSize)
+		s.prepopulate()
 	}
 	return s
 }
 
-// Machine exposes the underlying machine (tests, recovery checks).
-// Callers must not touch it while the server is listening — the engine
-// loop owns it.
-func (s *Server) Machine() *core.Machine { return s.m }
+// prepopulate inserts keys 1..Prepopulate, each on its home shard, and
+// persists every shard's formatted image. With one shard this is
+// exactly Store.Prepopulate.
+func (s *Server) prepopulate() {
+	if len(s.shards) == 1 {
+		s.stores[0].Prepopulate(s.cfg.Prepopulate, s.cfg.PrepopValueSize)
+		return
+	}
+	for k := 1; k <= s.cfg.Prepopulate; k++ {
+		s.stores[shard.ShardOf(uint64(k), len(s.shards))].PrepopulateOne(uint64(k), s.cfg.PrepopValueSize)
+	}
+	for _, st := range s.stores {
+		st.m.Store().PersistLiveNVM()
+	}
+}
 
-// KV exposes the durable store (tests). Same ownership caveat as
+// Machine exposes shard 0's machine (tests, recovery checks; with one
+// shard, the machine). Callers must not touch it while the server is
+// listening — the engine loop owns it.
+func (s *Server) Machine() *core.Machine { return s.shards[0].Machine() }
+
+// KV exposes shard 0's durable store (tests). Same ownership caveat as
 // Machine.
-func (s *Server) KV() *Store { return s.store }
+func (s *Server) KV() *Store { return s.stores[0] }
 
-// Engine exposes the engine (tests: halt injection before Listen).
-// Same ownership caveat as Machine.
-func (s *Server) Engine() *sim.Engine { return s.eng }
+// Engine exposes shard 0's engine (tests: halt injection before
+// Listen). Same ownership caveat as Machine.
+func (s *Server) Engine() *sim.Engine { return s.shards[0].Engine() }
+
+// Cluster exposes the shard cluster (tests: per-shard baselines, hook
+// installation before Listen). Same ownership caveat as Machine.
+func (s *Server) Cluster() *shard.Cluster { return s.cluster }
 
 // Listen binds the configured address and starts serving. It returns
 // once the listener is live; Addr then reports the bound address.
@@ -235,129 +272,200 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// engineLoop is the single goroutine that drives the simulation: it
-// gathers pending requests into batches of at most Cores, runs each
-// batch as one engine run (one simulated thread per request), and
-// completes the requests. It exits when the request channel closes,
-// after a final reclamation pass (the shutdown WAL checkpoint).
+// engineLoop is the single goroutine that drives the simulation. It
+// keeps a loop-local FIFO of accepted requests: the channel is drained
+// without blocking into the queue, then the queue's head decides the
+// step — a per-shard wave of single-shard batches, or one quiescent
+// request (STATS, CRASH, cross-shard EXEC, cluster SCAN) alone. Nothing
+// is ever re-sent on the public channel, so shutdown cannot race a
+// pushback against the channel close (the old requeue-goroutine bug).
+// The loop exits when the channel closes and the queue is empty, after
+// a final reclamation pass on every shard (the shutdown WAL
+// checkpoint).
 func (s *Server) engineLoop() {
 	defer close(s.loopDone)
-	for req := range s.reqCh {
-		switch req.kind {
-		case reqStats:
-			req.statsJSON = s.statsJSON()
-			close(req.done)
-		case reqCrash:
-			s.powerFail()
-			close(req.done)
-		case reqOps:
-			batch := s.gather(req)
-			s.runBatch(batch)
+	var pending []*request
+	open := true
+	for open || len(pending) > 0 {
+		if len(pending) == 0 {
+			r, ok := <-s.reqCh
+			if !ok {
+				break
+			}
+			pending = append(pending, r)
 		}
+		if open {
+		drain:
+			for {
+				select {
+				case r, ok := <-s.reqCh:
+					if !ok {
+						open = false
+						break drain
+					}
+					pending = append(pending, r)
+				default:
+					break drain
+				}
+			}
+		}
+		pending = s.step(pending)
 	}
 	// Shutdown: persist committed images in place and checkpoint the
-	// redo logs, so a post-shutdown image recovers instantly.
-	s.m.ReclaimLogs()
-}
-
-// gather collects additional ready ops requests (without blocking)
-// until the batch fills the machine's cores. Non-ops requests stop the
-// gather — they need the machine quiescent — and are pushed back via
-// immediate handling after the batch by re-queueing on a goroutine.
-func (s *Server) gather(first *request) []*request {
-	batch := []*request{first}
-	for len(batch) < s.cfg.Cores {
-		select {
-		case r, ok := <-s.reqCh:
-			if !ok {
-				return batch
-			}
-			if r.kind != reqOps {
-				// Handle after this batch: requeue without blocking the
-				// loop (the channel may be full of ops requests).
-				go func() {
-					select {
-					case s.reqCh <- r:
-					case <-s.closing:
-						r.err = errShuttingDown
-						close(r.done)
-					}
-				}()
-				return batch
-			}
-			batch = append(batch, r)
-		default:
-			return batch
-		}
+	// redo logs on every shard, so a post-shutdown image recovers
+	// instantly.
+	for _, sh := range s.shards {
+		sh.Machine().ReclaimLogs()
 	}
-	return batch
 }
 
-// runBatch executes one batch: each request's ops become one durable
-// transaction on its own simulated thread (all in conflict domain 0 —
-// one store, one application). On an injected power failure the batch's
-// unapplied requests fail with errLostPower and the machine recovers
-// before the next batch.
-func (s *Server) runBatch(batch []*request) {
-	bodies := make([]func(*sim.Thread), len(batch))
-	for i, r := range batch {
-		r := r
-		bodies[i] = func(th *sim.Thread) {
-			c := s.m.NewCtx(th, 0)
-			r.results = s.store.Apply(c, r.ops)
-			r.applied = true
+// step executes the queue's head — a wave of single-shard ops requests,
+// or one quiescent request — and returns the remaining queue.
+func (s *Server) step(pending []*request) []*request {
+	head := pending[0]
+	switch head.kind {
+	case reqStats:
+		head.statsJSON = s.statsJSON()
+		close(head.done)
+		return pending[1:]
+	case reqCrash:
+		s.powerFail(head)
+		close(head.done)
+		return pending[1:]
+	case reqCross:
+		s.runCross(head)
+		return pending[1:]
+	case reqScanAll:
+		s.runScanAll(head)
+		return pending[1:]
+	default:
+		return s.runWave(pending)
+	}
+}
+
+// runWave takes the longest prefix of single-shard ops requests off the
+// queue — capped at Cores per shard, leaving excess and everything
+// after the first quiescent request queued in order — and runs it as
+// one wave: every involved shard executes its group as one session
+// batch (one durable transaction per request, each on its own simulated
+// thread in conflict domain 0), shards in parallel on the harness
+// worker pool. On an injected power failure the wave's unapplied
+// requests fail with errLostPower and the cluster recovers before the
+// next step.
+func (s *Server) runWave(pending []*request) []*request {
+	groups := make([][]*request, len(s.shards))
+	var taken []*request
+	var rest []*request
+	for i, r := range pending {
+		if r.kind != reqOps {
+			rest = append(rest, pending[i:]...)
+			break
+		}
+		if len(groups[r.shard]) >= s.cfg.Cores {
+			rest = append(rest, r)
+			continue
+		}
+		groups[r.shard] = append(groups[r.shard], r)
+		taken = append(taken, r)
+	}
+	var active []*shard.Shard
+	for _, sh := range s.shards {
+		if len(groups[sh.ID()]) > 0 {
+			active = append(active, sh)
 		}
 	}
 	s.batches++
-	s.requests += uint64(len(batch))
-	_, halted := s.sess.Do("serve", bodies...)
+	s.requests += uint64(len(taken))
+	halted := s.cluster.Fanout(active, func(sh *shard.Shard) bool {
+		grp := groups[sh.ID()]
+		st := s.stores[sh.ID()]
+		bodies := make([]func(*sim.Thread), len(grp))
+		for i, r := range grp {
+			r := r
+			bodies[i] = func(th *sim.Thread) {
+				c := sh.Machine().NewCtx(th, 0)
+				r.results = st.Apply(c, r.ops)
+				r.applied = true
+			}
+		}
+		return sh.Do("serve", bodies...)
+	})
 	if halted {
-		// A crashpoint hook fired mid-batch (test-injected power
-		// failure). Recover the machine, then fail what was lost.
+		// A crashpoint hook fired mid-wave (test-injected power
+		// failure). Recover the cluster, then fail what was lost.
 		s.recoverAfterHalt()
-		for _, r := range batch {
+		for _, r := range taken {
 			if !r.applied {
 				r.err = errLostPower
 			}
 		}
 	}
-	for _, r := range batch {
+	for _, r := range taken {
 		close(r.done)
 	}
+	return rest
 }
 
 // powerFail models an operator-triggered power failure (the CRASH
-// command): volatile state is lost, the redo logs replay, the DRAM
-// index is rebuilt. Runs between batches, so no request is in flight.
-func (s *Server) powerFail() {
+// command): every shard loses volatile state, the redo logs replay, the
+// coordinator's completion pass finishes decided cross-shard
+// transactions, and the DRAM indexes are rebuilt. Runs between steps,
+// so no request is in flight. A protocol-invariant violation found by
+// recovery fails the CRASH request loudly instead of serving corrupt
+// state.
+func (s *Server) powerFail(req *request) {
 	s.crashes++
-	s.m.Crash()
-	s.m.Recover()
-	s.store.Recover()
+	rec := s.cluster.RecoverServing()
+	for _, st := range s.stores {
+		st.Recover()
+	}
+	if req != nil && len(rec.Inconsistent) > 0 {
+		req.err = fmt.Errorf("recovery invariant violated: %s", rec.Inconsistent[0])
+	}
 }
 
-// recoverAfterHalt is powerFail for a failure that struck mid-batch:
-// the engine halted, so the session must also restart.
+// recoverAfterHalt is powerFail for a failure that struck mid-wave: the
+// engines halted, so every shard's session must also restart.
 func (s *Server) recoverAfterHalt() {
-	s.powerFail()
-	s.sess.Restart()
+	s.powerFail(nil)
+	for _, sh := range s.shards {
+		sh.Restart()
+	}
 }
 
-// statsJSON marshals the STATS reply.
+// statsJSON marshals the STATS reply. The machine half aggregates every
+// shard (stats.Stats.Add, virtual time = the latest shard); with one
+// shard it is that machine's counters verbatim.
 func (s *Server) statsJSON() []byte {
-	ms := *s.m.Stats()
-	ms.Elapsed = s.eng.Now()
+	var ms stats.Stats
+	keys := 0
+	var now sim.Time
+	for i, sh := range s.shards {
+		if i == 0 {
+			ms = *sh.Machine().Stats()
+		} else {
+			ms.Add(sh.Machine().Stats())
+		}
+		if t := sh.Engine().Now(); t > now {
+			now = t
+		}
+		keys += s.stores[i].table.Len(sh.Machine().Store())
+	}
+	ms.Elapsed = now
 	doc := struct {
 		Server  serverStats  `json:"server"`
 		Machine *stats.Stats `json:"machine"`
 	}{
 		Server: serverStats{
-			UptimeS:  time.Since(s.start).Seconds(),
-			VirtualS: s.eng.Now().Seconds(),
-			Batches:  s.batches,
-			Requests: s.requests,
-			Crashes:  s.crashes,
-			Keys:     s.store.table.Len(s.m.Store()),
+			UptimeS:      time.Since(s.start).Seconds(),
+			VirtualS:     now.Seconds(),
+			Shards:       len(s.shards),
+			Batches:      s.batches,
+			Requests:     s.requests,
+			Crashes:      s.crashes,
+			Keys:         keys,
+			CrossCommits: s.cluster.CrossCommits(),
+			CrossAborts:  s.cluster.CrossAborts(),
 		},
 		Machine: &ms,
 	}
@@ -371,12 +479,15 @@ func (s *Server) statsJSON() []byte {
 // serverStats is the server half of the STATS document (the machine
 // half is the stats.Stats JSON shared with the experiment records).
 type serverStats struct {
-	UptimeS  float64 `json:"uptime_s"`
-	VirtualS float64 `json:"virtual_s"`
-	Batches  uint64  `json:"batches"`
-	Requests uint64  `json:"requests"`
-	Crashes  uint64  `json:"crashes"`
-	Keys     int     `json:"keys"`
+	UptimeS      float64 `json:"uptime_s"`
+	VirtualS     float64 `json:"virtual_s"`
+	Shards       int     `json:"shards"`
+	Batches      uint64  `json:"batches"`
+	Requests     uint64  `json:"requests"`
+	Crashes      uint64  `json:"crashes"`
+	Keys         int     `json:"keys"`
+	CrossCommits uint64  `json:"cross_commits"`
+	CrossAborts  uint64  `json:"cross_aborts"`
 }
 
 // submit hands one request to the engine loop and waits for it.
@@ -391,13 +502,34 @@ func (s *Server) submit(req *request) error {
 	return req.err
 }
 
-// submitOps executes ops as one durable transaction.
+// submitOps executes ops as one durable transaction, routed by key:
+// with one shard (or all keys on one home shard) the fast single-shard
+// path, a lone SCAN on a sharded server the cluster broadcast, anything
+// straddling shards the 2PC coordinator.
 func (s *Server) submitOps(ops []Op) ([]OpResult, error) {
-	req := &request{kind: reqOps, ops: ops}
+	req := s.route(ops)
 	if err := s.submit(req); err != nil {
 		return nil, err
 	}
 	return req.results, nil
+}
+
+// route classifies one op batch into its engine-loop request kind.
+func (s *Server) route(ops []Op) *request {
+	n := len(s.shards)
+	if n == 1 {
+		return &request{kind: reqOps, ops: ops}
+	}
+	if len(ops) == 1 && ops[0].Kind == OpScan {
+		return &request{kind: reqScanAll, ops: ops}
+	}
+	home := shard.ShardOf(ops[0].Key, n)
+	for _, op := range ops[1:] {
+		if shard.ShardOf(op.Key, n) != home {
+			return &request{kind: reqCross, ops: ops}
+		}
+	}
+	return &request{kind: reqOps, shard: home, ops: ops}
 }
 
 // maxScanCount caps one SCAN's result size.
@@ -494,6 +626,11 @@ func (s *Server) dispatch(st *connState, argv [][]byte) (rep Reply, quit bool) {
 		if bad {
 			return Errf("EXECABORT transaction discarded because of previous errors"), false
 		}
+		if len(ops) == 0 {
+			// Nothing queued: answer the empty array directly instead of
+			// occupying a simulated core with a zero-op transaction.
+			return Reply{Kind: ReplyArray}, false
+		}
 		results, err := s.submitOps(ops)
 		if err != nil {
 			return Errf("%v", err), false
@@ -524,6 +661,13 @@ func (s *Server) dispatch(st *connState, argv [][]byte) (rep Reply, quit bool) {
 			return Errf("%v", err), false
 		}
 		if st.inMulti {
+			if op.Kind == OpScan && len(s.shards) > 1 {
+				// A scan has no single home shard, so it cannot join a
+				// (potentially cross-shard) transaction; reject at queue
+				// time and poison the batch like a parse error.
+				st.multiErr = true
+				return Errf("SCAN is not allowed inside MULTI on a sharded server"), false
+			}
 			st.queued = append(st.queued, op)
 			return Reply{Kind: ReplySimple, Str: "QUEUED"}, false
 		}

@@ -110,16 +110,24 @@ func (s *Store) Table() *txds.HashMap { return s.table }
 // outside any transaction, and persists them — initial state for load
 // generation, mirroring the workload drivers' prepopulation.
 func (s *Store) Prepopulate(n, valSize int) {
-	st := s.m.Store()
 	for k := 1; k <= n; k++ {
-		v := make([]byte, valSize)
-		for i := range v {
-			v[i] = byte(uint64(k) + uint64(i))
-		}
-		s.table.Put(st, uint64(k), v)
-		s.index.Put(st, uint64(k), nil)
+		s.PrepopulateOne(uint64(k), valSize)
 	}
-	st.PersistLiveNVM()
+	s.m.Store().PersistLiveNVM()
+}
+
+// PrepopulateOne inserts one key with its deterministic valSize-byte
+// value, outside any transaction and without persisting — the sharded
+// server routes each key to its home shard's store this way and
+// persists every shard once at the end.
+func (s *Store) PrepopulateOne(k uint64, valSize int) {
+	st := s.m.Store()
+	v := make([]byte, valSize)
+	for i := range v {
+		v[i] = byte(k + uint64(i))
+	}
+	s.table.Put(st, k, v)
+	s.index.Put(st, k, nil)
 }
 
 // Apply executes ops as one durable transaction on the given context

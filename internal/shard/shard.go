@@ -146,10 +146,32 @@ type Cluster struct {
 // shard 0.
 func New(cfg Config) *Cluster {
 	cfg = cfg.normalized()
+	c := newCluster(cfg, DecisionReserve, cfg.Trace)
+	for _, sh := range c.shards {
+		al := mem.NewAllocator(mem.NVM)
+		for i := 0; i < cfg.LinesPerShard; i++ {
+			la := al.AllocLines(1)
+			// Prepopulate with the global item number so the durable
+			// baseline identifies the partition map.
+			sh.m.Store().WriteU64(la, 0xD000_0000+uint64(i*cfg.Shards+sh.id))
+			sh.pool = append(sh.pool, la)
+		}
+		sh.m.Store().PersistLiveNVM()
+	}
+	return c
+}
+
+// newCluster builds the shards (engine, machine, session each) and —
+// when reserve is nonzero — the coordinator decision log and resolution
+// cell on shard 0. It is the construction path shared by the canned
+// workload driver (New) and the serving front-end (NewServing); the
+// per-shard machine construction sequence must stay byte-identical so
+// goldens pinned against either path keep holding.
+func newCluster(cfg Config, reserve mem.Addr, traced bool) *Cluster {
 	c := &Cluster{cfg: cfg}
 	for k := 0; k < cfg.Shards; k++ {
 		eng := sim.NewEngine(cfg.Seed + int64(k))
-		if cfg.Trace {
+		if traced {
 			eng.SetTracer(trace.NewRecorder())
 		}
 		g := mem.DefaultConfig()
@@ -158,25 +180,17 @@ func New(cfg Config) *Cluster {
 		}
 		g.Cores = cfg.CoresPerShard
 		opts := cfg.Opts
-		opts.ReserveLogArea = DecisionReserve
+		opts.ReserveLogArea = reserve
 		m := core.NewMachine(eng, g, opts)
-		sh := &Shard{id: k, eng: eng, m: m, sess: harness.NewSession(eng)}
-		al := mem.NewAllocator(mem.NVM)
-		for i := 0; i < cfg.LinesPerShard; i++ {
-			la := al.AllocLines(1)
-			// Prepopulate with the global item number so the durable
-			// baseline identifies the partition map.
-			m.Store().WriteU64(la, 0xD000_0000+uint64(i*cfg.Shards+k))
-			sh.pool = append(sh.pool, la)
-		}
-		m.Store().PersistLiveNVM()
-		c.shards = append(c.shards, sh)
+		c.shards = append(c.shards, &Shard{id: k, eng: eng, m: m, sess: harness.NewSession(eng)})
 	}
-	st0 := c.shards[0].m.Store()
-	decBase := mem.NVMLogBase + mem.LogAreaSize - DecisionReserve
-	c.cellAddr = decBase
-	c.decLog = wal.NewLog(st0, decBase+mem.LineSize, DecisionReserve-mem.LineSize, true)
-	c.decLog.SetPointPrefix(PointPrefixDecision)
+	if reserve > 0 {
+		st0 := c.shards[0].m.Store()
+		decBase := mem.NVMLogBase + mem.LogAreaSize - reserve
+		c.cellAddr = decBase
+		c.decLog = wal.NewLog(st0, decBase+mem.LineSize, reserve-mem.LineSize, true)
+		c.decLog.SetPointPrefix(PointPrefixDecision)
+	}
 	return c
 }
 
@@ -205,7 +219,7 @@ func (c *Cluster) SetHook(k int, f func(point string)) {
 	sh := c.shards[k]
 	sh.hook = f
 	sh.m.SetCrashpoint(f)
-	if k == 0 {
+	if k == 0 && c.decLog != nil {
 		c.decLog.SetCrashpoint(f)
 	}
 }

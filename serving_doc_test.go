@@ -70,9 +70,27 @@ func TestServingDocCoversCommands(t *testing.T) {
 		"lost power",
 		"shutting down",
 		"protocol error",
+		"is not allowed inside MULTI on a sharded server",
 	} {
 		if !strings.Contains(doc, want) {
 			t.Errorf("SERVING.md no longer mentions the %q error", want)
+		}
+	}
+
+	// The sharded-serving surface stays documented: the CLI knobs and
+	// the report/STATS fields the load generator exposes for the 2PC
+	// path.
+	for _, want := range []string{
+		"-shards",
+		"-crossfrac",
+		"cross_frac",
+		"cross_commits",
+		"cross_aborts",
+		"ShardOf",
+		"RecoverServing",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("SERVING.md no longer documents %q (sharded serving section)", want)
 		}
 	}
 }
