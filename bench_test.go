@@ -30,7 +30,7 @@ func TestSuiteCoversWrappers(t *testing.T) {
 		"Fig9a": true, "Fig9b": true, "Fig10": true, "Ablations": true,
 		"ShardCross": true, "TxSmallCommit": true, "SignatureInsert": true,
 		"SignatureCheck": true, "RedoLogAppend": true, "LogReplay": true,
-		"SimEngineYield": true,
+		"RecoveryReplay": true, "SimEngineYield": true,
 	}
 	for _, s := range bench.Specs() {
 		if !wrapped[s.Name] {
@@ -57,4 +57,5 @@ func BenchmarkSignatureInsert(b *testing.B) { bench.SignatureInsert(b) }
 func BenchmarkSignatureCheck(b *testing.B)  { bench.SignatureCheck(b) }
 func BenchmarkRedoLogAppend(b *testing.B)   { bench.RedoLogAppend(b) }
 func BenchmarkLogReplay(b *testing.B)       { bench.LogReplay(b) }
+func BenchmarkRecoveryReplay(b *testing.B)  { bench.RecoveryReplay(b) }
 func BenchmarkSimEngineYield(b *testing.B)  { bench.SimEngineYield(b) }

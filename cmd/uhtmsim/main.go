@@ -12,7 +12,7 @@
 //	uhtmsim trace-summary <trace.json>
 //
 // where experiment is one of: table3, fig2, fig6, fig7, fig8, fig9a,
-// fig9b, fig10, ablate, scale, all. (The authoritative list — including
+// fig9b, fig10, ablate, scale, recovery, all. (The authoritative list — including
 // one-line descriptions — is printed by `uhtmsim -h` straight from the
 // experiment registry; a test asserts this comment tracks it, and walks
 // the flag set asserting every flag appears above.)
@@ -62,6 +62,15 @@
 // cluster-wide atomicity. One JSON record is emitted per injection
 // (point, seed, verdict); the exit status is 1 if any injection's
 // recovery violated an invariant.
+//
+// The recovery experiment measures crash recovery itself: each grid
+// cell commits a known volume of redo log (checkpointing every so many
+// commits — interval 0 never checkpoints), pulls the plug, and times
+// the recovery pass. Its records extend the JSON schema with
+// recovery_scanned, recovery_applied and the modeled per-phase
+// latencies recovery_scan_ps, recovery_replay_ps and
+// recovery_persist_ps; EXPERIMENTS.md explains how to read the
+// latency-vs-log-size curve.
 //
 // `uhtmsim serve` runs the durable KV store as a long-lived TCP
 // service speaking a RESP-subset protocol, and `uhtmsim loadgen`

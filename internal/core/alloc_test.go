@@ -30,7 +30,10 @@ func measureTxAllocs(t *testing.T, warmup, measured int, body func(tx *Tx, i int
 	// state.
 	const ringBytes = 256 << 10
 	m.undoRings = wal.NewRings(m.store, mem.DRAMLogBase, ringBytes, cfg.Cores, false)
-	m.redoRings = wal.NewRings(m.store, mem.NVMLogBase+mem.LineSize, ringBytes-mem.LineSize, cfg.Cores, true)
+	// The redo override must sit past the checkpoint cell AND the
+	// checkpoint ring, exactly like the production layout.
+	redoBase := mem.NVMLogBase + mem.LineSize + ckptRingBytes(cfg.Cores)
+	m.redoRings = wal.NewRings(m.store, redoBase, ringBytes-mem.LineSize, cfg.Cores, true)
 	var perTx float64
 	eng.Spawn("alloc", func(th *sim.Thread) {
 		c := m.NewCtx(th, 0)

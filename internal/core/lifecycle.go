@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"uhtm/internal/coherence"
 	"uhtm/internal/mem"
@@ -44,6 +45,7 @@ func (m *Machine) begin(c *Ctx, attempt int, slow bool) *Tx {
 	tx.rolledBack = false
 	tx.finished = false
 	tx.committing = false
+	tx.commitLSN = 0
 	tx.statusVal = txStatus{id: id, core: c.core, domain: c.domain, slowPath: slow, abortEnemyCore: -1}
 	tx.status = &tx.statusVal
 	tx.sig.Clear()
@@ -88,6 +90,7 @@ func (m *Machine) commit(tx *Tx) {
 			nvmLat += int64(m.lat.RedoIssue)
 		}
 		m.lsnCounter++
+		tx.commitLSN = m.lsnCounter
 		m.hit(PointCommitMark)
 		ring.Append(wal.Record{Type: wal.RecCommit, TxID: tx.id, LSN: m.lsnCounter})
 		m.emit(trace.EvTxCommitMark, tx.core, tx.id, 0, m.lsnCounter, 0)
@@ -305,9 +308,8 @@ func (m *Machine) stickyReset() {
 
 // maybeReclaimRedo keeps the per-core redo rings from filling: past the
 // high-water mark, every committed NVM line that may not have drained is
-// persisted in place, after which all log records are dead (committed
-// data durable in place; aborted and live transactions have no records —
-// records are only appended at commit) and the rings reclaim wholesale.
+// persisted in place, after which the committed prefix of every ring is
+// dead (committed data durable in place) and reclaims incrementally.
 // This is the background log-reclamation of [28]/Section IV-C, so it
 // charges no latency to any core.
 func (m *Machine) maybeReclaimRedo(core int) {
@@ -318,49 +320,142 @@ func (m *Machine) maybeReclaimRedo(core int) {
 	m.ReclaimLogs()
 }
 
-// ReclaimLogs runs one full background reclamation pass: committed NVM
-// images are persisted in place, the DRAM cache drains, and every redo
-// ring reclaims to its head. Safe at any quiescent point; a crash right
-// after it recovers from the durable in-place data alone.
+// ReclaimLogs runs one incremental background reclamation pass: pending
+// committed NVM images are persisted in place, the DRAM cache drains, a
+// fuzzy checkpoint (low-water LSN + active-transaction table) is written
+// durably, and each redo ring truncates its disposable prefix. The pass
+// never waits for quiescence — a mid-commit transaction merely lowers
+// the low-water mark so its records survive — so reclamation always
+// makes progress under sustained commit load. (The previous design
+// deferred wholesale whenever any core was committing; under saturation
+// the rings filled until wal.Append panicked. See RECOVERY.md.)
+//
+// At a quiescent point the low-water mark equals the global LSN and
+// every group is disposable, so the rings truncate fully — a crash right
+// after recovers from the durable in-place data alone.
 func (m *Machine) ReclaimLogs() {
 	m.hit(PointReclaimBegin)
+	dirty := len(m.pendingAddrs)
 	m.persistPending()
 	m.hit(PointReclaimDrain)
 	m.dcache.DrainAll()
-	// Truncation must defer while any core is mid-commit: such a
-	// transaction's durability rests solely on its log records (its
-	// write-set is not yet registered in pendingNVM), so its mark must
-	// survive — and a checkpoint covering it would filter it at replay.
-	// (Found by the crash sweep; see RECOVERY.md.)
-	for _, t := range m.byCore {
-		if t != nil && t.committing {
-			return
-		}
-	}
-	// Durably advance the checkpoint BEFORE truncating any ring. Ring
+	// The checkpoint must be durable BEFORE any ring truncates. Ring
 	// truncations are per-core durable updates and cannot be atomic as a
 	// group: a crash between them would otherwise leave stale committed
 	// records on the surviving rings, and replaying those would regress
 	// lines past newer commits whose records were already truncated.
 	// With the checkpoint durable first, recovery ignores every commit
-	// record at or below it — all such data is persisted in place by the
-	// persistPending above. (Found by the crash sweep; see RECOVERY.md.)
+	// record at or below its low-water LSN — all such data is persisted
+	// in place by the persistPending above. (Found by the crash sweep;
+	// see RECOVERY.md.)
+	low := m.lowWaterLSN()
 	m.hit(PointReclaimCkpt)
-	m.setCheckpoint(m.lsnCounter)
+	m.writeCheckpoint(low, dirty)
 	m.hit(PointReclaimRings)
 	for i := 0; i < m.redoRings.Count(); i++ {
-		r := m.redoRings.ForCore(i)
-		r.Reclaim(r.Head())
+		m.reclaimRing(m.redoRings.ForCore(i), low)
 	}
 }
 
-// setCheckpoint durably records lsn as the redo-log truncation point —
-// a single-line (hence crash-atomic) durable update.
-func (m *Machine) setCheckpoint(lsn uint64) {
-	m.store.WriteU64(m.ckptAddr, lsn)
+// lowWaterLSN returns the highest LSN safe to truncate at: the global
+// commit LSN, lowered below the commit mark of any mid-commit
+// transaction. Such a transaction's durability rests solely on its log
+// records (its write-set is not yet registered in pendingNVM), so its
+// mark must survive truncation and stay above the checkpoint's replay
+// filter. A committing transaction whose mark is not yet appended needs
+// no lowering: its eventual LSN is above the current global counter.
+func (m *Machine) lowWaterLSN() uint64 {
+	low := m.lsnCounter
+	for _, t := range m.byCore {
+		if t != nil && t.committing && t.commitLSN != 0 && t.commitLSN-1 < low {
+			low = t.commitLSN - 1
+		}
+	}
+	return low
+}
+
+// writeCheckpoint cuts one fuzzy checkpoint: the previous-but-one group
+// is truncated (the previous complete group is retained as the fallback
+// for a torn write of this one), the new group is appended durably, and
+// only then does the cell flip to it — a single-line, crash-atomic
+// pointer update. A crash anywhere in between leaves the cell on the
+// previous complete group.
+func (m *Machine) writeCheckpoint(low uint64, dirty int) {
+	m.ckptLog.Reclaim(m.lastCkptBegin)
+	act := m.ckptActScratch[:0]
+	for _, t := range m.byCore {
+		if t != nil && !t.finished {
+			act = append(act, wal.CkptActive{TxID: t.id, CommitLSN: t.commitLSN})
+		}
+	}
+	m.ckptActScratch = act
+	m.ckptSeq++
+	begin := m.ckptLog.AppendCheckpoint(wal.Checkpoint{
+		Seq:        m.ckptSeq,
+		LowWater:   low,
+		DirtyLines: dirty,
+		Active:     act,
+	})
+	m.hit(PointReclaimCell)
+	m.store.WriteU64(m.ckptAddr, begin+1)
 	l := m.store.PeekLine(m.ckptAddr)
 	m.store.PersistLine(m.ckptAddr, &l)
-	m.emit(trace.EvWALCheckpoint, -1, 0, 0, lsn, 0)
+	m.emit(trace.EvWALCheckpoint, -1, 0, 0, low, 0)
+	m.lastCkptBegin = begin
+}
+
+// reclaimRing truncates ring's disposable prefix: record groups whose
+// transaction is aborted, committed at or below the low-water mark, or
+// 2PC-prepared with a durably decided fate (prepareResolver). The walk
+// stops at the first record that must survive — a mid-commit
+// transaction's group, a commit above the mark, or an undecided prepare
+// — so truncation never splits a group (a transaction's records are
+// contiguous on its ring and fate is uniform per transaction).
+func (m *Machine) reclaimRing(ring *wal.Log, low uint64) {
+	if m.ringFate == nil {
+		m.ringFate = make(map[uint64]ringFate)
+	}
+	clear(m.ringFate)
+	head := ring.Head()
+	for seq := ring.Tail(); seq < head; seq++ {
+		r, ok := ring.Read(seq)
+		if !ok {
+			continue
+		}
+		f := m.ringFate[r.TxID]
+		switch r.Type {
+		case wal.RecCommit:
+			f.committed = true
+			f.commitLSN = r.LSN
+		case wal.RecAbort:
+			f.aborted = true
+		case wal.RecPrepare:
+			f.prepared = true
+		}
+		m.ringFate[r.TxID] = f
+	}
+	stop := ring.Tail()
+	for seq := stop; seq < head; seq++ {
+		r, ok := ring.Read(seq)
+		if !ok {
+			break // undecodable live slot: keep everything from here on
+		}
+		f := m.ringFate[r.TxID]
+		disposable := false
+		switch {
+		case f.aborted && !f.committed:
+			disposable = true
+		case f.committed:
+			disposable = f.commitLSN <= low
+		case f.prepared:
+			disposable = m.prepareResolver != nil && m.prepareResolver(r.TxID)
+		}
+		if !disposable {
+			break
+		}
+		stop = seq + 1
+	}
+	ring.Reclaim(stop)
 }
 
 // persistPending force-drains the committed image of every NVM line
@@ -393,14 +488,44 @@ func (m *Machine) persistPending() {
 	m.persistScratch = s[:0]
 }
 
-// Recover performs post-crash recovery (Section IV-C): it replays the
-// committed redo records of every core's NVM log onto the durable image,
-// ignoring records already covered by the durable checkpoint (their data
-// is persisted in place; see ReclaimLogs). DRAM contents and the undo
-// logs are gone; the programmer keeps recovery-relevant structures in
-// NVM. Call after Crash, so the checkpoint read sees the durable image.
-func (m *Machine) Recover() wal.ReplayStats {
-	return m.redoRings.ReplayAll(m.store.ReadU64(m.ckptAddr))
+// RecoveryStats reports what one recovery pass examined and applied,
+// plus a modeled per-phase latency breakdown. The simulated-time phase
+// costs are derived from the machine's medium latencies (scan reads
+// every in-window log slot; replay and persist each write every applied
+// line) and are fully deterministic; Wall is the host time the pass took
+// and is the only nondeterministic field.
+type RecoveryStats struct {
+	wal.ReplayStats
+	CheckpointLSN uint64 // low-water LSN the replay filtered against
+	CkptRecords   int    // checkpoint-ring records decoded to find it
+
+	ScanPS    sim.Time // modeled log-scan phase (read every slot)
+	ReplayPS  sim.Time // modeled redo-apply phase (write applied lines)
+	PersistPS sim.Time // modeled in-place persist phase
+	Wall      time.Duration
+}
+
+// Recover performs post-crash recovery (Section IV-C): it resolves the
+// latest complete durable fuzzy checkpoint, then replays the committed
+// redo records of every core's NVM log onto the durable image, ignoring
+// records at or below the checkpoint's low-water LSN (their data is
+// persisted in place; see ReclaimLogs). DRAM contents and the undo logs
+// are gone; the programmer keeps recovery-relevant structures in NVM.
+// All evidence is read from the durable image, so calling it without a
+// preceding Crash gives the same answer a real power failure would.
+func (m *Machine) Recover() RecoveryStats {
+	start := time.Now()
+	var st RecoveryStats
+	if ck, ok := m.durableCheckpoint(); ok {
+		st.CheckpointLSN = ck.LowWater
+		st.CkptRecords = len(ck.Active) + 2
+	}
+	st.ReplayStats = m.redoRings.ReplayAll(st.CheckpointLSN)
+	st.ScanPS = sim.Time(st.ScannedRecs+st.CkptRecords) * 2 * m.cfg.NVMReadLatency
+	st.ReplayPS = sim.Time(st.AppliedLines) * m.cfg.NVMWriteLatency
+	st.PersistPS = sim.Time(st.AppliedLines) * m.cfg.NVMWriteLatency
+	st.Wall = time.Since(start)
+	return st
 }
 
 // Crash simulates a power failure on the machine's store and resets the

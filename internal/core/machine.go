@@ -221,11 +221,37 @@ type Machine struct {
 	redoRings *wal.Rings // NVM log area, per core
 
 	// ckptAddr is the durable checkpoint cell: the first line of the NVM
-	// log area, holding the LSN up to which redo records have been
-	// truncated. Recovery ignores commit records at or below it — they
-	// describe data already persisted in place, and replaying a stale
-	// survivor would regress a line past a newer truncated commit.
+	// log area. It holds 1 + the ckptLog ring sequence of the latest
+	// complete fuzzy checkpoint record group (0 = no checkpoint yet).
+	// Recovery decodes that group for the low-water LSN and ignores
+	// commit records at or below it — they describe data already
+	// persisted in place, and replaying a stale survivor would regress a
+	// line past a newer truncated commit.
 	ckptAddr mem.Addr
+	// ckptLog is the dedicated durable ring the fuzzy checkpoint record
+	// groups live on, right after the cell. Sized for three full groups
+	// (ckptRingBytes) so the previous complete checkpoint always
+	// survives a torn write of the current one.
+	ckptLog *wal.Log
+	// ckptSeq numbers checkpoints; lastCkptBegin is the previous group's
+	// begin sequence (kept live across checkpoints so each pass can
+	// truncate the group before it). ckptActScratch is the reusable
+	// active-transaction-table buffer.
+	ckptSeq        uint64
+	lastCkptBegin  uint64
+	ckptActScratch []wal.CkptActive
+
+	// ringFate is the reusable per-ring transaction-fate table of
+	// incremental reclamation (see reclaimRing).
+	ringFate map[uint64]ringFate
+
+	// prepareResolver, when set, is consulted by incremental reclamation
+	// for record groups that carry a 2PC prepare mark but no local
+	// decision: it reports whether the group's fate is durably decided
+	// elsewhere (coordinator decision log or resolution cell), making the
+	// records disposable. It must consult durable facts only. Nil keeps
+	// prepared-but-undecided groups on the ring.
+	prepareResolver func(txID uint64) bool
 
 	txCounter  uint64
 	lsnCounter uint64 // global commit sequence (log-serialization order)
@@ -350,10 +376,14 @@ func NewMachine(eng *sim.Engine, cfg mem.Config, opts Options) *Machine {
 	}
 	m.dcache = dramcache.New(cfg.DRAMCacheSize, cfg.DRAMCacheWays)
 	m.undoRings = wal.NewRings(m.store, mem.DRAMLogBase, mem.LogAreaSize, cfg.Cores, false)
-	// The first NVM log-area line is the checkpoint cell (see ckptAddr);
-	// the redo rings share the rest.
+	// NVM log-area layout: the checkpoint cell (one line, see ckptAddr),
+	// then the checkpoint ring, then the per-core redo rings over the
+	// rest (minus any caller reservation at the top).
 	m.ckptAddr = mem.NVMLogBase
-	m.redoRings = wal.NewRings(m.store, mem.NVMLogBase+mem.LineSize, mem.LogAreaSize-mem.LineSize-opts.ReserveLogArea, cfg.Cores, true)
+	ckptBytes := ckptRingBytes(cfg.Cores)
+	m.ckptLog = wal.NewLog(m.store, mem.NVMLogBase+mem.LineSize, ckptBytes, true)
+	m.ckptLog.SetPointPrefix(PointPrefixCkptRing)
+	m.redoRings = wal.NewRings(m.store, mem.NVMLogBase+mem.LineSize+ckptBytes, mem.LogAreaSize-mem.LineSize-ckptBytes-opts.ReserveLogArea, cfg.Cores, true)
 	if tr := eng.Tracer(); tr != nil {
 		m.installTracer(tr)
 	}
@@ -380,9 +410,26 @@ const (
 	PointReclaimBegin  = "core.reclaim.begin"  // reclamation pass entered
 	PointReclaimImage  = "core.reclaim.image"  // before each pending in-place image persists
 	PointReclaimDrain  = "core.reclaim.drain"  // before the DRAM cache drains
-	PointReclaimCkpt   = "core.reclaim.ckpt"   // images durable; before the checkpoint LSN persists
-	PointReclaimRings  = "core.reclaim.rings"  // checkpoint durable; before the rings truncate
+	PointReclaimCkpt   = "core.reclaim.ckpt"   // images durable; before the checkpoint group appends
+	PointReclaimCell   = "core.reclaim.cell"   // group durable; before the checkpoint cell persists
+	PointReclaimRings  = "core.reclaim.rings"  // cell durable; before the rings truncate incrementally
 )
+
+// PointPrefixCkptRing is the injection-point prefix of the checkpoint
+// ring (wal.Log.SetPointPrefix), yielding wal.ckpt.append.record /
+// append.ctrl / reclaim.ctrl — every durable step of a fuzzy checkpoint
+// group write gets its own crash point.
+const PointPrefixCkptRing = "wal.ckpt."
+
+// ckptRingBytes sizes the checkpoint ring for a machine with the given
+// core count: a fuzzy checkpoint group is at most cores+2 records (one
+// active entry per core plus begin/end), and the ring must hold the
+// previous complete group, the current one, and headroom for the next
+// append before the previous is truncated — three groups, line-aligned.
+func ckptRingBytes(cores int) mem.Addr {
+	raw := mem.Addr(mem.LineSize) + mem.Addr(3*(cores+2)*wal.RecordSize)
+	return (raw + mem.LineSize - 1) &^ (mem.LineSize - 1)
+}
 
 // SetCrashpoint installs (or, with nil, removes) the crash-injection
 // hook on the machine, its store, and both log-ring sets. The hook runs
@@ -394,7 +441,14 @@ func (m *Machine) SetCrashpoint(f func(point string)) {
 	m.store.SetCrashpoint(f)
 	m.undoRings.SetCrashpoint(f)
 	m.redoRings.SetCrashpoint(f)
+	m.ckptLog.SetCrashpoint(f)
 }
+
+// SetPrepareResolver installs the callback incremental reclamation
+// consults for prepared-but-undecided record groups (see the
+// prepareResolver field). internal/shard installs one that answers from
+// the coordinator's durable decision state.
+func (m *Machine) SetPrepareResolver(f func(txID uint64) bool) { m.prepareResolver = f }
 
 // hit fires one machine-level injection point.
 func (m *Machine) hit(point string) {
@@ -415,10 +469,34 @@ func (m *Machine) DurableRedoRecords() []wal.Record {
 	return out
 }
 
-// Checkpoint returns the redo-log truncation LSN as seen by the live
-// image. After Crash() the live image is the durable one, so this is
-// the value recovery acts on.
-func (m *Machine) Checkpoint() uint64 { return m.store.ReadU64(m.ckptAddr) }
+// Checkpoint returns the low-water LSN of the latest complete durable
+// fuzzy checkpoint (0 when none has been written) — the replay filter
+// recovery acts on. It reads durable evidence only: the cell and the
+// checkpoint ring are decoded from the durable image, so the answer is
+// identical before and after Crash.
+func (m *Machine) Checkpoint() uint64 {
+	ck, ok := m.durableCheckpoint()
+	if !ok {
+		return 0
+	}
+	return ck.LowWater
+}
+
+// durableCheckpoint resolves the latest complete checkpoint group from
+// durable evidence alone: the cell points at the newest group; if that
+// group is torn (a crash mid-append) the ring is scanned for the newest
+// complete one — the previous checkpoint, which is always retained.
+func (m *Machine) durableCheckpoint() (wal.Checkpoint, bool) {
+	if cell := m.store.DurableU64(m.ckptAddr); cell != 0 {
+		if ck, ok := m.ckptLog.CheckpointAt(cell-1, true); ok {
+			return ck, true
+		}
+	}
+	return m.ckptLog.LatestCheckpoint(true)
+}
+
+// CkptLog exposes the checkpoint ring (tests, tooling).
+func (m *Machine) CkptLog() *wal.Log { return m.ckptLog }
 
 // Store exposes the simulated memory (workload setup, checkers).
 func (m *Machine) Store() *mem.Store { return m.store }
@@ -520,6 +598,15 @@ type stickyPage struct {
 // the line in pendingAddrs/pendingImgs, 0 when absent.
 type pendingPage struct {
 	pos [mem.PageLines]int32
+}
+
+// ringFate summarizes one transaction's marks on one redo ring, built
+// per reclamation pass (see reclaimRing).
+type ringFate struct {
+	commitLSN uint64
+	committed bool
+	aborted   bool
+	prepared  bool
 }
 
 // pendingPut registers (or refreshes) the committed image of an NVM

@@ -96,9 +96,14 @@ type Tx struct {
 	// committing is set while the commit protocol is between its first
 	// redo-log append and the registration of the write-set in
 	// pendingNVM: in that window the transaction's durability rests
-	// solely on its log records, so ReclaimLogs must not reclaim its
-	// core's ring.
+	// solely on its log records, so incremental reclamation must keep
+	// them — the fuzzy checkpoint's low-water LSN stops below this
+	// transaction's commit mark.
 	committing bool
+	// commitLSN is the LSN stamped on this transaction's RecCommit
+	// record, 0 until the mark is appended. While committing is set it
+	// bounds the reclamation low-water mark (see Machine.lowWaterLSN).
+	commitLSN uint64
 }
 
 // slot returns la's tracking-table slot, materializing its page and

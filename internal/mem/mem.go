@@ -362,6 +362,23 @@ func (s *Store) ReadU64(a Addr) uint64 {
 	return v
 }
 
+// DurableU64 reads the 8-byte word at a from the durable NVM image
+// (a must be 8-byte aligned). Recovery evidence must come from here —
+// the live image may hold post-crash state a real power failure would
+// have discarded.
+func (s *Store) DurableU64(a Addr) uint64 {
+	if a%8 != 0 {
+		panic("mem: unaligned DurableU64")
+	}
+	l := s.durable.read(LineIndex(a))
+	off := LineOffset(a)
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(l[off+i])
+	}
+	return v
+}
+
 // WriteU64 writes the 8-byte word at a in the live image (checker use).
 func (s *Store) WriteU64(a Addr, v uint64) {
 	if a%8 != 0 {

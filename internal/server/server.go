@@ -135,6 +135,12 @@ type Server struct {
 	batches  uint64
 	requests uint64
 	crashes  uint64
+
+	// Last CRASH drill's recovery summary, summed over the shards
+	// (reported by STATS; zero until the first drill).
+	recScanned int
+	recApplied int
+	recPS      sim.Time
 }
 
 // New builds the simulated cluster and its durable per-shard stores
@@ -416,6 +422,14 @@ func (s *Server) runWave(pending []*request) []*request {
 func (s *Server) powerFail(req *request) {
 	s.crashes++
 	rec := s.cluster.RecoverServing()
+	s.recScanned, s.recApplied, s.recPS = 0, 0, 0
+	for _, rs := range rec.PerShard {
+		s.recScanned += rs.ScannedRecs
+		s.recApplied += rs.AppliedLines
+		if ps := rs.ScanPS + rs.ReplayPS + rs.PersistPS; ps > s.recPS {
+			s.recPS = ps // shards recover in parallel: slowest dominates
+		}
+	}
 	for _, st := range s.stores {
 		st.Recover()
 	}
@@ -466,6 +480,10 @@ func (s *Server) statsJSON() []byte {
 			Keys:         keys,
 			CrossCommits: s.cluster.CrossCommits(),
 			CrossAborts:  s.cluster.CrossAborts(),
+
+			RecoveryScanned: s.recScanned,
+			RecoveryApplied: s.recApplied,
+			RecoveryPS:      int64(s.recPS),
 		},
 		Machine: &ms,
 	}
@@ -488,6 +506,13 @@ type serverStats struct {
 	Keys         int     `json:"keys"`
 	CrossCommits uint64  `json:"cross_commits"`
 	CrossAborts  uint64  `json:"cross_aborts"`
+
+	// Last CRASH drill's recovery pass, summed over the shards (the
+	// modeled latency takes the slowest shard — they replay in
+	// parallel). Zero until the first drill.
+	RecoveryScanned int   `json:"recovery_scanned"`
+	RecoveryApplied int   `json:"recovery_applied"`
+	RecoveryPS      int64 `json:"recovery_ps"`
 }
 
 // submit hands one request to the engine loop and waits for it.

@@ -374,6 +374,23 @@ func TestCrashCommandRecovery(t *testing.T) {
 			t.Fatalf("key %d after recovery = %q, want %q", k, rep.Bulk, v)
 		}
 	}
+	// The drill's measured recovery pass is surfaced by STATS: the logs
+	// were scanned and the pre-crash commits replayed.
+	var doc struct {
+		Server struct {
+			Crashes         uint64 `json:"crashes"`
+			RecoveryScanned int    `json:"recovery_scanned"`
+			RecoveryApplied int    `json:"recovery_applied"`
+			RecoveryPS      int64  `json:"recovery_ps"`
+		} `json:"server"`
+	}
+	if rep := mustDo(t, c, "STATS"); json.Unmarshal(rep.Bulk, &doc) != nil {
+		t.Fatalf("STATS is not JSON:\n%s", rep.Bulk)
+	}
+	if doc.Server.Crashes != 1 || doc.Server.RecoveryScanned == 0 ||
+		doc.Server.RecoveryApplied == 0 || doc.Server.RecoveryPS == 0 {
+		t.Errorf("STATS after drill = %+v, want crashes=1 and a non-zero recovery pass", doc.Server)
+	}
 	// Prepopulated keys the run never overwrote are intact, and the
 	// rebuilt index still serves ordered scans.
 	rep := mustDo(t, c, "SCAN", "1", "100")

@@ -3,14 +3,16 @@ package shard
 import (
 	"fmt"
 
+	"uhtm/internal/core"
 	"uhtm/internal/mem"
 	"uhtm/internal/wal"
 )
 
 // Recovery reports what cross-shard crash recovery found and did.
 type Recovery struct {
-	// PerShard is each machine's local replay summary (core.Recover).
-	PerShard []wal.ReplayStats
+	// PerShard is each machine's local recovery summary (core.Recover):
+	// replay counts plus the measured scan/replay/persist phase stats.
+	PerShard []core.RecoveryStats
 	// Cell is the durable resolution cell: every GID sequence at or
 	// below it was fully resolved (applied everywhere or decided-abort)
 	// before the crash.
@@ -143,7 +145,23 @@ func (c *Cluster) Recover() Recovery {
 			sh.m.NoteCommit(tx.gid, 0, writes)
 		}
 	}
+	c.mergeDecisionState(rec)
 	return rec
+}
+
+// mergeDecisionState refreshes the cluster's in-memory mirror of the
+// coordinator's durable decision state after recovery, so the shards'
+// prepare resolvers answer from what actually survived the crash rather
+// than pre-crash volatile state.
+func (c *Cluster) mergeDecisionState(rec Recovery) {
+	if c.decidedAbort == nil {
+		return
+	}
+	clear(c.decidedAbort)
+	for s := range rec.DecidedAbort {
+		c.decidedAbort[s] = true
+	}
+	c.resolvedSeq = rec.Cell
 }
 
 // inCommitLog reports whether the machine's tracked commit log contains

@@ -319,6 +319,7 @@ func (c *Cluster) RecoverServing() Recovery {
 	if c.seq < maxSeq {
 		c.seq = maxSeq
 	}
+	c.mergeDecisionState(rec)
 	c.halted = false
 	return rec
 }

@@ -136,6 +136,15 @@ type Cluster struct {
 	waves  []*crossTx // every issued cross-shard transaction, in seq order
 	halted bool
 
+	// decidedAbort and resolvedSeq mirror the coordinator's durable
+	// decision state for the shards' prepare resolvers (see resolveGID):
+	// GID sequences with a durable abort decision, and the highest fully
+	// resolved sequence (the resolution cell). Written only in
+	// single-shard coordinator phases; read concurrently by reclamation
+	// passes in barriered multi-shard phases, so no locking is needed.
+	decidedAbort map[uint64]bool
+	resolvedSeq  uint64
+
 	crossCommits uint64
 	crossAborts  uint64
 }
@@ -190,8 +199,30 @@ func newCluster(cfg Config, reserve mem.Addr, traced bool) *Cluster {
 		c.cellAddr = decBase
 		c.decLog = wal.NewLog(st0, decBase+mem.LineSize, reserve-mem.LineSize, true)
 		c.decLog.SetPointPrefix(PointPrefixDecision)
+		c.decidedAbort = make(map[uint64]bool)
+		// Incremental reclamation consults the coordinator's decision
+		// state before truncating a prepared-but-unapplied record group:
+		// an undecided prepare is the only durable evidence of the
+		// transaction and must survive.
+		for _, sh := range c.shards {
+			sh.m.SetPrepareResolver(c.resolveGID)
+		}
 	}
 	return c
+}
+
+// resolveGID answers a machine's prepare resolver: a prepared record
+// group for txID is disposable when the coordinator durably decided
+// abort for it (the group will never be applied) or the transaction is
+// at or below the resolution cell (fully applied and registered
+// everywhere). Both facts are durable before the in-memory mirrors here
+// are updated, so truncation never outruns the decision log.
+func (c *Cluster) resolveGID(txID uint64) bool {
+	if txID < GIDBase {
+		return false
+	}
+	seq := txID &^ GIDBase
+	return seq <= c.resolvedSeq || c.decidedAbort[seq]
 }
 
 // Shards returns the cluster's shards in index order.

@@ -279,6 +279,9 @@ func (c *Cluster) decide(sh *Shard, wave []*crossTx, tmax sim.Time) bool {
 				typ = wal.RecAbort
 			}
 			c.decLog.Append(wal.Record{Type: typ, TxID: tx.gid, LSN: tx.seq})
+			if !tx.admitted {
+				c.decidedAbort[tx.seq] = true
+			}
 			th.Advance(decisionLatPerTx)
 			sh.hit(PointDecisionLogged)
 		}
@@ -340,6 +343,7 @@ func (c *Cluster) resolve(sh *Shard, seq uint64) bool {
 		st.PersistLine(c.cellAddr, &ln)
 		th.Advance(decisionLatPerTx)
 		c.decLog.Reclaim(c.decLog.Head())
+		c.resolvedSeq = seq
 	})
 	return halted
 }

@@ -41,6 +41,20 @@ const (
 	// it — a prepared-but-undecided group has no RecCommit and is
 	// discarded like any uncommitted transaction.
 	RecPrepare RecordType = 4
+	// RecCkptBegin opens a fuzzy checkpoint record group (ARIES-style
+	// begin_chkpt): TxID carries the checkpoint sequence number, LSN the
+	// low-water commit LSN, Addr the dirty-line count, and Data[0:8] the
+	// number of RecCkptActive records that follow.
+	RecCkptBegin RecordType = 5
+	// RecCkptActive is one active-transaction-table entry of a fuzzy
+	// checkpoint: TxID is the in-flight transaction, LSN its commit-mark
+	// LSN (0 when the mark is not yet logged).
+	RecCkptActive RecordType = 6
+	// RecCkptEnd closes a checkpoint group (end_chkpt), echoing the
+	// begin record's sequence number and low-water LSN. A group without
+	// a matching end record is torn and must be ignored in favor of the
+	// previous complete one.
+	RecCkptEnd RecordType = 7
 )
 
 // String names the record type for logs and dumps.
@@ -54,6 +68,12 @@ func (t RecordType) String() string {
 		return "abort"
 	case RecPrepare:
 		return "prepare"
+	case RecCkptBegin:
+		return "ckpt.begin"
+	case RecCkptActive:
+		return "ckpt.active"
+	case RecCkptEnd:
+		return "ckpt.end"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
@@ -385,9 +405,113 @@ func (l *Log) Read(seq uint64) (Record, bool) {
 	if seq < l.tail || seq >= l.head {
 		return Record{}, false
 	}
+	return l.readRecord(seq, false)
+}
+
+// readRecord decodes the slot at seq without bounds checks; callers
+// supply the window.
+func (l *Log) readRecord(seq uint64, durable bool) (Record, bool) {
 	var buf [RecordSize]byte
-	l.readBytes(l.slotAddr(seq), buf[:], false)
+	l.readBytes(l.slotAddr(seq), buf[:], durable)
 	return decode(&buf)
+}
+
+// CkptActive is one active-transaction-table entry of a fuzzy
+// checkpoint (see Checkpoint).
+type CkptActive struct {
+	TxID      uint64
+	CommitLSN uint64 // 0 when the commit mark is not yet logged
+}
+
+// Checkpoint is a decoded fuzzy checkpoint record group: the ARIES-style
+// begin_chkpt / active-transaction table / end_chkpt triple written by
+// incremental log reclamation (internal/core.ReclaimLogs) without
+// waiting for quiescence. LowWater is the commit LSN at or below which
+// every committed transaction's data is persisted in place — the replay
+// filter. DirtyLines summarizes the pendingNVM set drained just before
+// the checkpoint was cut.
+type Checkpoint struct {
+	Seq        uint64 // monotonically increasing checkpoint number
+	LowWater   uint64 // replay filter: commits at or below are in place
+	DirtyLines int    // dirty-line summary at checkpoint time
+	Active     []CkptActive
+	BeginSeq   uint64 // ring sequence of the RecCkptBegin record
+}
+
+// AppendCheckpoint writes ck as a record group (begin, one active entry
+// per in-flight transaction, end) and returns the begin record's ring
+// sequence number. The group spans multiple records, so a power failure
+// can persist a prefix of it; CheckpointAt and LatestCheckpoint treat
+// any group without a validated end record as torn.
+func (l *Log) AppendCheckpoint(ck Checkpoint) uint64 {
+	var data mem.Line
+	putU64(data[0:8], uint64(len(ck.Active)))
+	begin := l.Append(Record{Type: RecCkptBegin, TxID: ck.Seq, Addr: mem.Addr(ck.DirtyLines), Data: data, LSN: ck.LowWater})
+	for _, a := range ck.Active {
+		l.Append(Record{Type: RecCkptActive, TxID: a.TxID, LSN: a.CommitLSN})
+	}
+	l.Append(Record{Type: RecCkptEnd, TxID: ck.Seq, LSN: ck.LowWater})
+	return begin
+}
+
+// CheckpointAt decodes the checkpoint group whose begin record sits at
+// ring sequence seq, from the durable image when durable is set. It
+// fails (ok=false) when seq is outside the window, any record of the
+// group is torn or of the wrong type, or the end record does not echo
+// the begin — exactly the cases where recovery must fall back to the
+// previous complete checkpoint.
+func (l *Log) CheckpointAt(seq uint64, durable bool) (Checkpoint, bool) {
+	head, tail := l.head, l.tail
+	if durable {
+		head, tail = l.RecoverWindow()
+	}
+	if seq < tail || seq >= head {
+		return Checkpoint{}, false
+	}
+	begin, ok := l.readRecord(seq, durable)
+	if !ok || begin.Type != RecCkptBegin {
+		return Checkpoint{}, false
+	}
+	n := getU64(begin.Data[0:8])
+	if n > head-seq || seq+n+2 > head {
+		return Checkpoint{}, false
+	}
+	ck := Checkpoint{
+		Seq:        begin.TxID,
+		LowWater:   begin.LSN,
+		DirtyLines: int(begin.Addr),
+		BeginSeq:   seq,
+	}
+	for i := uint64(0); i < n; i++ {
+		r, ok := l.readRecord(seq+1+i, durable)
+		if !ok || r.Type != RecCkptActive {
+			return Checkpoint{}, false
+		}
+		ck.Active = append(ck.Active, CkptActive{TxID: r.TxID, CommitLSN: r.LSN})
+	}
+	end, ok := l.readRecord(seq+1+n, durable)
+	if !ok || end.Type != RecCkptEnd || end.TxID != begin.TxID || end.LSN != begin.LSN {
+		return Checkpoint{}, false
+	}
+	return ck, true
+}
+
+// LatestCheckpoint scans the ring's window and returns the newest
+// complete checkpoint group (highest Seq), if any. Recovery uses it as
+// the fallback when the checkpoint cell points at a torn group.
+func (l *Log) LatestCheckpoint(durable bool) (Checkpoint, bool) {
+	head, tail := l.head, l.tail
+	if durable {
+		head, tail = l.RecoverWindow()
+	}
+	var best Checkpoint
+	found := false
+	for seq := tail; seq < head; seq++ {
+		if ck, ok := l.CheckpointAt(seq, durable); ok && (!found || ck.Seq >= best.Seq) {
+			best, found = ck, true
+		}
+	}
+	return best, found
 }
 
 // Records returns all live records in order, reading from the durable
@@ -438,6 +562,7 @@ type ReplayStats struct {
 	TornRecs      int // in-window slots skipped (torn/corrupt writes)
 	StaleTx       int // committed transactions below the checkpoint, skipped
 	StaleRecs     int // their RecWrite records
+	ScannedRecs   int // in-window slots examined, including torn ones
 }
 
 // Replay performs redo-log crash recovery against the store's durable
@@ -459,6 +584,7 @@ func (l *Log) Replay() ReplayStats {
 	}
 	var st ReplayStats
 	st.TornRecs = torn
+	st.ScannedRecs = len(recs) + torn
 	seenDiscard := map[uint64]bool{}
 	seenApply := map[uint64]bool{}
 	for _, r := range recs {
@@ -553,11 +679,12 @@ func (r *Rings) ReplayAll(ckpt uint64) ReplayStats {
 	var store *mem.Store
 	groups := map[uint64]*txGroup{}
 	order := []uint64{} // txIDs with commit marks, to sort by LSN
-	torn := 0
+	torn, scanned := 0, 0
 	for _, l := range r.logs {
 		store = l.store
 		recs, t := l.records(true)
 		torn += t
+		scanned += len(recs) + t
 		for _, rec := range recs {
 			g := groups[rec.TxID]
 			if g == nil {
@@ -583,6 +710,7 @@ func (r *Rings) ReplayAll(ckpt uint64) ReplayStats {
 	})
 	var st ReplayStats
 	st.TornRecs = torn
+	st.ScannedRecs = scanned
 	for _, id := range order {
 		g := groups[id]
 		if g.committed && g.commitLSN <= ckpt {

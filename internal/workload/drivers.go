@@ -119,6 +119,16 @@ type Result struct {
 	Shards       int
 	CrossCommits uint64
 	CrossAborts  uint64
+
+	// Recovery runs only (experiment "recovery"): what the post-crash
+	// recovery pass examined and applied, and its modeled per-phase
+	// simulated latencies (see core.RecoveryStats). All deterministic;
+	// the host time of the pass folds into Wall.
+	RecoveryScanned   int
+	RecoveryApplied   int
+	RecoveryScanPS    sim.Time
+	RecoveryReplayPS  sim.Time
+	RecoveryPersistPS sim.Time
 }
 
 // Throughput returns committed transactions per simulated second.

@@ -68,6 +68,7 @@ var registry = []Experiment{
 	{"fig10", "Volatile transactions: undo vs redo DRAM logging (Fig. 10)", fig10Plan},
 	{"ablate", "Design-choice ablations (resolution policy, DRAM cache, isolation, DRAM log)", ablationPlan},
 	{"scale", "Sharded scale-out: throughput and abort rate vs cores × shards × domains", scalePlan},
+	{"recovery", "Measured crash recovery: latency vs log size × checkpoint interval", recoveryPlan},
 }
 
 // Experiments lists the registry (name and description only).
@@ -144,6 +145,14 @@ type resultJSON struct {
 	Shards       int    `json:"shards,omitempty"`
 	CrossCommits uint64 `json:"cross_commits,omitempty"`
 	CrossAborts  uint64 `json:"cross_aborts,omitempty"`
+
+	// Recovery records only (experiment "recovery"). Phase latencies are
+	// simulated picoseconds.
+	RecoveryScanned   int   `json:"recovery_scanned,omitempty"`
+	RecoveryApplied   int   `json:"recovery_applied,omitempty"`
+	RecoveryScanPS    int64 `json:"recovery_scan_ps,omitempty"`
+	RecoveryReplayPS  int64 `json:"recovery_replay_ps,omitempty"`
+	RecoveryPersistPS int64 `json:"recovery_persist_ps,omitempty"`
 }
 
 // MarshalJSON emits the flat per-run record (see resultJSON).
@@ -164,6 +173,12 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		Shards:       r.Shards,
 		CrossCommits: r.CrossCommits,
 		CrossAborts:  r.CrossAborts,
+
+		RecoveryScanned:   r.RecoveryScanned,
+		RecoveryApplied:   r.RecoveryApplied,
+		RecoveryScanPS:    int64(r.RecoveryScanPS),
+		RecoveryReplayPS:  int64(r.RecoveryReplayPS),
+		RecoveryPersistPS: int64(r.RecoveryPersistPS),
 	})
 }
 
@@ -189,6 +204,12 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		Shards:       w.Shards,
 		CrossCommits: w.CrossCommits,
 		CrossAborts:  w.CrossAborts,
+
+		RecoveryScanned:   w.RecoveryScanned,
+		RecoveryApplied:   w.RecoveryApplied,
+		RecoveryScanPS:    sim.Time(w.RecoveryScanPS),
+		RecoveryReplayPS:  sim.Time(w.RecoveryReplayPS),
+		RecoveryPersistPS: sim.Time(w.RecoveryPersistPS),
 	}
 	return nil
 }
